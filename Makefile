@@ -1,0 +1,22 @@
+# Convenience targets; see README.md.
+
+.PHONY: install test bench artifacts slow clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+artifacts:
+	python -m repro run all --out results/
+
+slow:
+	REPRO_SLOW=1 pytest tests/harness/test_large_scale.py
+
+clean:
+	rm -rf .repro_cache .pytest_cache .hypothesis results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+``sweep`` runs (or loads from the on-disk cache) the full profiled sweep the
+paper's evaluation section is built on: both curves, the default constraint
+ladder.  Every table/figure benchmark reduces this one sweep, prints the
+regenerated artifact, and asserts the paper's shape claims.
+
+Rendered artifacts are also written to ``results/`` next to this directory.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import DEFAULT_SIZES, profile_sweep
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    """The full profiled sweep (cached on disk across bench processes)."""
+    return profile_sweep(sizes=DEFAULT_SIZES)
+
+
+@pytest.fixture(scope="session")
+def sizes():
+    return DEFAULT_SIZES
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a rendered experiment and persist it under results/."""
+
+    def _emit(result):
+        text = result.render()
+        with capsys.disabled():
+            print()
+            print(text)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{result.ident.lower()}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        return text
+
+    return _emit

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Print the optimization advisor's guidance for every protocol stage.
+
+The paper closes each analysis with a Key Takeaway;
+:mod:`repro.perf.advisor` applies the same reasoning mechanically to
+*measured* stage profiles, so the recommendations below are derived from
+this run's traces, not copied from the paper.
+
+    python examples/advisor_report.py [n_constraints] [cpu]
+"""
+
+import sys
+
+from repro.harness.runner import profile_run
+from repro.perf.advisor import advise
+from repro.workflow import STAGES
+
+
+def main():
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    cpu = sys.argv[2] if len(sys.argv) > 2 else "i9-13900K"
+    print(f"Profiling all stages (bn128, n={size}) and advising for {cpu} ...")
+    profiles = profile_run("bn128", size)
+
+    for stage in STAGES:
+        recs = advise(profiles[stage], cpu_name=cpu)
+        print(f"\n=== {stage} ===")
+        if not recs:
+            print("  (no findings above thresholds)")
+        for rec in recs:
+            print(f"  {rec}")
+
+    takeaways = sorted({r.takeaway for s in STAGES
+                        for r in advise(profiles[s], cpu_name=cpu) if r.takeaway})
+    print(f"\nPaper Key Takeaways instantiated by this run: {takeaways}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Run the paper's full four-analysis framework (Fig. 3) on one stage.
+
+Traces the chosen protocol stage of the exponentiation workload and prints
+its top-down classification, memory behaviour, code composition and
+scalability decomposition on each of the three evaluation CPUs.
+
+    python examples/characterize_stage.py [stage] [n_constraints] [curve]
+
+e.g. ``python examples/characterize_stage.py proving 512 bn128``.
+"""
+
+import sys
+
+from repro.harness.report import render_table
+from repro.harness.runner import profile_run
+from repro.perf.cpu import ALL_CPUS, I9_13900K
+from repro.perf.scaling import amdahl_fit, strong_scaling
+from repro.workflow import STAGES
+
+
+def main():
+    stage = sys.argv[1] if len(sys.argv) > 1 else "proving"
+    size = int(sys.argv[2]) if len(sys.argv) > 2 else 256
+    curve = sys.argv[3] if len(sys.argv) > 3 else "bn128"
+    if stage not in STAGES:
+        raise SystemExit(f"unknown stage {stage!r}; choose from {STAGES}")
+
+    print(f"Characterizing the '{stage}' stage ({curve}, n={size}) ...")
+    profile = profile_run(curve, size)[stage]
+
+    # -- top-down microarchitecture analysis --------------------------------
+    rows = []
+    for spec in ALL_CPUS:
+        td = profile.view(spec.name).topdown
+        rows.append([
+            spec.name, 100 * td.frontend, 100 * td.bad_speculation,
+            100 * td.backend, 100 * td.retiring, td.classification,
+        ])
+    print()
+    print(render_table(
+        ["CPU", "FE%", "BadSpec%", "BE%", "Retire%", "classification"],
+        rows, title="Top-down analysis", floatfmt=".1f",
+    ))
+
+    # -- memory analysis ---------------------------------------------------------
+    rows = []
+    for spec in ALL_CPUS:
+        v = profile.view(spec.name)
+        rows.append([spec.name, v.load_mpki, v.bandwidth.max_gbps,
+                     v.traffic_bytes / 1e6])
+    print()
+    print(render_table(
+        ["CPU", "LLC load MPKI", "max BW (GB/s)", "DRAM traffic (MB)"],
+        rows, title="Memory analysis", floatfmt=".3f",
+    ))
+    print(f"\narchitectural loads: {profile.loads:.3g}   "
+          f"stores: {profile.stores:.3g}   "
+          f"(ratio {profile.loads / profile.stores:.1f})")
+
+    # -- code analysis ---------------------------------------------------------------
+    mix = profile.opcode_mix
+    print(f"\nopcode mix: compute {mix.compute_pct:.1f}% / "
+          f"control {mix.control_pct:.1f}% / data {mix.data_pct:.1f}%  "
+          f"-> {mix.intensive}-intensive")
+    rows = [[h.function, 100 * h.share, h.description]
+            for h in profile.functions.top(6)]
+    print()
+    print(render_table(["function", "CPU time %", "description"], rows,
+                       title="Hotspots (VTune view)", floatfmt=".1f"))
+
+    # -- scalability analysis ------------------------------------------------------------
+    sp = strong_scaling(profile.split, I9_13900K)
+    serial, parallel = amdahl_fit(sp)
+    print(f"\nstrong scaling on {I9_13900K.name}: " +
+          ", ".join(f"t={n}:{s:.2f}x" for n, s in sp.items()))
+    print(f"Amdahl fit: serial {100 * serial:.1f}% / parallel {100 * parallel:.1f}%  "
+          f"(structural parallel share: {100 * profile.split.parallel_fraction:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Key Takeaway 1: the same ZKP workload classifies differently per CPU.
+
+Runs every protocol stage once and prints the top-down classification grid
+— the reproduction of the paper's headline observation that execution-time
+measurement alone is insufficient and per-microarchitecture analysis is
+needed (e.g. compile is front-end bound on the i7 but back-end bound on
+the i5/i9).
+
+    python examples/compare_cpus.py [n_constraints] [curve]
+"""
+
+import sys
+
+from repro.harness.report import render_table
+from repro.harness.runner import profile_run
+from repro.perf.cpu import ALL_CPUS
+from repro.workflow import STAGES
+
+SHORT = {"frontend": "FE", "backend": "BE", "bad_speculation": "BadSpec",
+         "retiring": "Retire"}
+
+
+def main():
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    curve = sys.argv[2] if len(sys.argv) > 2 else "bn128"
+    print(f"Profiling all five stages ({curve}, n={size}) ...")
+    profiles = profile_run(curve, size)
+
+    rows = []
+    for stage in STAGES:
+        row = [stage]
+        for spec in ALL_CPUS:
+            td = profiles[stage].view(spec.name).topdown
+            row.append(f"{SHORT[td.classification]} "
+                       f"(FE {td.frontend:.0%}/BE {td.backend:.0%})")
+        rows.append(row)
+
+    print()
+    print(render_table(
+        ["stage"] + [spec.name for spec in ALL_CPUS], rows,
+        title="Dominant pipeline-slot category per stage per CPU (Fig. 4)",
+    ))
+
+    divergent = [
+        stage for stage in STAGES
+        if len({profiles[stage].view(s.name).topdown.classification
+                for s in ALL_CPUS}) > 1
+    ]
+    print(f"\nStages classified differently across CPUs: {divergent}")
+    print("=> evaluating execution time alone is insufficient; optimizations "
+          "must target each microarchitecture (Key Takeaway 1).")
+
+
+if __name__ == "__main__":
+    main()

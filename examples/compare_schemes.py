@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare three proof systems on the same statement family.
+
+Proves knowledge of ``x`` with ``y = x^n`` three ways and contrasts the
+trade-offs the paper's background section describes:
+
+- **Schnorr + Fiat-Shamir** (interactive ZKP made non-interactive): only
+  proves discrete-log statements, but is tiny and fast;
+- **Groth16**: general statements, constant 3-element proofs, per-circuit
+  trusted setup — the scheme the paper profiles;
+- **PLONK**: general statements, universal setup, bigger/slower proofs —
+  the alternative snarkjs scheme the paper cites as ~2x slower at proving.
+
+    python examples/compare_schemes.py [n_gates]
+"""
+
+import random
+import sys
+import time
+
+from repro.circuit import CircuitBuilder, compile_circuit, gadgets
+from repro.curves import get_curve
+from repro.groth16 import generate_witness, prove, public_inputs, setup, verify
+from repro.harness.report import render_table
+from repro.plonk import PlonkCircuit, plonk_prove, plonk_setup, plonk_verify
+from repro.plonk.circuit import compile_plonk
+from repro.sigma import fiat_shamir_prove, fiat_shamir_verify
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    curve = get_curve("bn128")
+    fr = curve.fr
+    rng = random.Random(13)
+    x_secret = 0xC0FFEE
+    rows = []
+
+    # -- Schnorr (knowledge of discrete log, not of x^n) ----------------------
+    t0 = time.perf_counter()
+    public, sproof = fiat_shamir_prove(curve.g1, x_secret, rng,
+                                       message=b"compare_schemes")
+    t_prove = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    assert fiat_shamir_verify(curve.g1, public, sproof, message=b"compare_schemes")
+    t_verify = time.perf_counter() - t0
+    rows.append(["Schnorr+FS", "dlog only", "none", 96 + 64,
+                 0.0, t_prove, t_verify])
+
+    # -- Groth16 ------------------------------------------------------------------
+    b = CircuitBuilder("pow", fr)
+    xs = b.private_input("x")
+    b.output(gadgets.exponentiate(b, xs, n), "y")
+    circuit = compile_circuit(b)
+    t0 = time.perf_counter()
+    pk, vk = setup(curve, circuit, rng)
+    t_setup = time.perf_counter() - t0
+    witness = generate_witness(circuit, {"x": x_secret})
+    t0 = time.perf_counter()
+    gproof = prove(pk, circuit, witness, rng)
+    t_prove = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    assert verify(vk, gproof, public_inputs(circuit, witness))
+    t_verify = time.perf_counter() - t0
+    rows.append(["Groth16", "any circuit", "per-circuit", gproof.size_bytes(),
+                 t_setup, t_prove, t_verify])
+
+    # -- PLONK -----------------------------------------------------------------------
+    pc = PlonkCircuit(fr)
+    y_var = pc.public_input()
+    x_var = pc.new_var()
+    acc = x_var
+    for _ in range(n - 1):
+        acc = pc.mul_gate(acc, x_var)
+    pc.assert_equal(acc, y_var)
+    compiled = compile_plonk(pc)
+    t0 = time.perf_counter()
+    pre = plonk_setup(curve, compiled, rng)
+    t_setup = time.perf_counter() - t0
+    values = pc.full_assignment({x_var: x_secret,
+                                 y_var: pow(x_secret, n, fr.modulus)})
+    t0 = time.perf_counter()
+    pproof = plonk_prove(pre, values, rng)
+    t_prove = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    assert plonk_verify(pre, pproof, [values[y_var]])
+    t_verify = time.perf_counter() - t0
+    rows.append(["PLONK", "any circuit", "universal", pproof.size_bytes(),
+                 t_setup, t_prove, t_verify])
+
+    print()
+    print(render_table(
+        ["scheme", "statements", "trusted setup", "proof bytes",
+         "setup s", "prove s", "verify s"],
+        rows,
+        title=f"Proof-system comparison, y = x^{n} on bn128",
+        floatfmt=".3f",
+    ))
+    print("\nGroth16's small constant proofs explain its de-facto-standard "
+          "status (paper Section IV-A); PLONK trades proving speed for the "
+          "universal setup.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: the environment's setuptools lacks the wheel backend, so the
+editable install goes through ``setup.py develop`` (pip --no-use-pep517)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — reproduction of "Performance Analysis of Zero-Knowledge Proofs"
+(Samudrala et al., IISWC 2024).
+
+A pure-Python Groth16 zk-SNARK stack (fields, curves, pairings, R1CS/QAP,
+NTT, MSM) instrumented for the paper's four-pronged CPU performance
+analysis: top-down microarchitecture, memory, code, and scalability
+analysis over models of the paper's three CPUs and two elliptic curves.
+
+Top-level convenience re-exports cover the protocol workflow; the analysis
+framework lives under :mod:`repro.perf` and the experiment harness under
+:mod:`repro.harness`.
+"""
+
+from repro.circuit import CircuitBuilder, compile_circuit, gadgets
+from repro.curves import CURVE_NAMES, get_curve
+from repro.groth16 import (
+    Proof,
+    ProvingKey,
+    VerifyingKey,
+    generate_witness,
+    prove,
+    public_inputs,
+    setup,
+    verify,
+)
+from repro.workflow import STAGES, Workflow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CURVE_NAMES",
+    "CircuitBuilder",
+    "Proof",
+    "ProvingKey",
+    "STAGES",
+    "VerifyingKey",
+    "Workflow",
+    "compile_circuit",
+    "gadgets",
+    "generate_witness",
+    "get_curve",
+    "prove",
+    "public_inputs",
+    "setup",
+    "verify",
+    "__version__",
+]

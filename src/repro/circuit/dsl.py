@@ -1,0 +1,259 @@
+"""Circuit-authoring DSL (circom's front-end role).
+
+Signals are affine linear combinations of wires; additions and scalings are
+free (no constraints), multiplications allocate a new wire and a rank-1
+constraint — exactly circom's cost model, which is why the paper can equate
+"number of constraints" with the exponent of its benchmark circuit.
+
+Out-of-circuit *hints* mirror circom's ``<--`` operator: a Python callable
+computes auxiliary wires during witness generation, and the author must pin
+the values down with explicit constraints (e.g. ``is_zero`` computes an
+inverse as a hint and constrains ``x * out == 0``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["CircuitBuilder", "Signal"]
+
+
+class Signal:
+    """An affine combination ``const + sum(coeff_w * wire_w)`` over a builder."""
+
+    __slots__ = ("builder", "terms", "const")
+
+    def __init__(self, builder, terms=None, const=0):
+        self.builder = builder
+        self.terms = dict(terms or {})
+        self.const = const % builder.fr.modulus
+
+    # -- linear algebra (free: no constraints) -----------------------------------
+
+    def _coerce(self, other):
+        if isinstance(other, Signal):
+            if other.builder is not self.builder:
+                raise ValueError("cannot mix signals from different circuits")
+            return other
+        if isinstance(other, int):
+            return Signal(self.builder, {}, other)
+        return None
+
+    def __add__(self, other):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        f = self.builder.fr
+        terms = dict(self.terms)
+        for w, c in o.terms.items():
+            nc = f.add(terms.get(w, 0), c)
+            if nc:
+                terms[w] = nc
+            else:
+                terms.pop(w, None)
+        return Signal(self.builder, terms, f.add(self.const, o.const))
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        f = self.builder.fr
+        return Signal(self.builder, {w: f.neg(c) for w, c in self.terms.items()}, f.neg(self.const))
+
+    def __sub__(self, other):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self + (-o)
+
+    def __rsub__(self, other):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return o + (-self)
+
+    def scale(self, k):
+        """Multiply by a field constant (free)."""
+        f = self.builder.fr
+        k %= f.modulus
+        return Signal(
+            self.builder,
+            {w: f.mul(c, k) for w, c in self.terms.items() if f.mul(c, k)},
+            f.mul(self.const, k),
+        )
+
+    def __mul__(self, other):
+        """Signal * int is a free scaling; Signal * Signal is a gate."""
+        if isinstance(other, int):
+            return self.scale(other)
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return self.builder.mul(self, o)
+
+    __rmul__ = __mul__
+
+    def is_constant(self):
+        return not self.terms
+
+    def __repr__(self):
+        parts = [f"{c}*w{w}" for w, c in sorted(self.terms.items())]
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return "Signal(" + " + ".join(parts) + ")"
+
+
+class CircuitBuilder:
+    """Accumulates wires, gates and constraints for one circuit.
+
+    Wire 0 is the constant 1.  Gates are recorded both as R1CS constraints
+    and as a *witness program* — the straight-line recipe the witness stage
+    replays to fill in every internal wire from the circuit inputs.
+    """
+
+    def __init__(self, name, fr):
+        self.name = name
+        self.fr = fr
+        self.n_wires = 1  # wire 0 == constant 1
+        self.labels = {0: "one"}
+        self.public_wires = [0]
+        self.input_wires = {}  # name -> wire (public and private)
+        self.output_wires = {}  # name -> wire
+        self.constraints = []  # (a_terms, b_terms, c_terms) sparse dicts
+        self.program = []  # witness-generation steps
+
+    # -- wires and inputs ------------------------------------------------------------
+
+    def _new_wire(self, label):
+        w = self.n_wires
+        self.n_wires += 1
+        if label:
+            self.labels[w] = label
+        return w
+
+    def _input(self, name, public):
+        if name in self.input_wires:
+            raise ValueError(f"duplicate input name {name!r}")
+        w = self._new_wire(name)
+        self.input_wires[name] = w
+        if public:
+            self.public_wires.append(w)
+        return Signal(self, {w: 1})
+
+    def public_input(self, name):
+        """Declare a verifier-visible input signal."""
+        return self._input(name, public=True)
+
+    def private_input(self, name):
+        """Declare a prover-only input signal."""
+        return self._input(name, public=False)
+
+    def constant(self, value):
+        """A constant signal (no wire allocated)."""
+        return Signal(self, {}, value)
+
+    def one(self):
+        """The constant-1 signal."""
+        return Signal(self, {}, 1)
+
+    # -- gates -----------------------------------------------------------------------
+
+    def mul(self, a, b):
+        """Multiply two signals: allocates a wire and one constraint.
+
+        Constant operands short-circuit to free scalings, as circom does.
+        """
+        if a.is_constant():
+            return b.scale(a.const)
+        if b.is_constant():
+            return a.scale(b.const)
+        out = self._new_wire(None)
+        self.constraints.append((dict(a.terms), dict(b.terms), {out: 1}))
+        self._attach_consts(-1, a, b)
+        self.program.append(("mul", _freeze(a), _freeze(b), out))
+        return Signal(self, {out: 1})
+
+    def _attach_consts(self, idx, a, b):
+        """Fold the affine constants of *a*, *b* into the stored constraint."""
+        cons_a, cons_b, _ = self.constraints[idx]
+        if a.const:
+            cons_a[0] = self.fr.add(cons_a.get(0, 0), a.const)
+        if b.const:
+            cons_b[0] = self.fr.add(cons_b.get(0, 0), b.const)
+
+    def identity_gate(self, sig):
+        """Force a gate ``out = sig * 1`` (one wire, one constraint).
+
+        Unlike :meth:`mul` this never constant-folds — it exists for
+        circuits that deliberately count a pass-through gate, like the
+        paper's Fig. 2 ``w0 = x * 1``.
+        """
+        out = self._new_wire(None)
+        ta = dict(sig.terms)
+        if sig.const:
+            ta[0] = sig.const
+        self.constraints.append((ta, {0: 1}, {out: 1}))
+        self.program.append(("mul", _freeze(sig), _freeze(self.one()), out))
+        return Signal(self, {out: 1})
+
+    def assert_equal(self, a, b):
+        """Constrain ``a == b`` (one constraint, no new wire)."""
+        diff = a - b
+        if diff.is_constant():
+            if diff.const != 0:
+                raise ValueError(f"{self.name}: assert_equal of unequal constants")
+            return
+        lc = dict(diff.terms)
+        if diff.const:
+            lc[0] = diff.const
+        self.constraints.append((lc, {0: 1}, {}))
+
+    def assert_mul(self, a, b, c):
+        """Constrain ``a * b == c`` without allocating a wire."""
+        ta = dict(a.terms)
+        if a.const:
+            ta[0] = a.const
+        tb = dict(b.terms)
+        if b.const:
+            tb[0] = b.const
+        tc = dict(c.terms)
+        if c.const:
+            tc[0] = c.const
+        self.constraints.append((ta, tb, tc))
+
+    def hint(self, fn, inputs, n_out, label=None):
+        """Allocate *n_out* wires computed out-of-circuit by ``fn``.
+
+        ``fn(field, values) -> list[int]`` receives the evaluated input
+        signals during witness generation.  Hints add **no** constraints —
+        the caller must constrain the outputs (soundness is the author's
+        responsibility, exactly as with circom's ``<--``).
+        """
+        outs = [self._new_wire(f"{label}[{i}]" if label else None) for i in range(n_out)]
+        self.program.append(("hint", fn, [_freeze(s) for s in inputs], outs))
+        return [Signal(self, {w: 1}) for w in outs]
+
+    def make_wire(self, sig, label=None):
+        """Force a (possibly composite) signal onto its own wire."""
+        if len(sig.terms) == 1 and sig.const == 0 and next(iter(sig.terms.values())) == 1:
+            return sig  # already a bare wire
+        out = self._new_wire(label)
+        ta = dict(sig.terms)
+        if sig.const:
+            ta[0] = sig.const
+        self.constraints.append((ta, {0: 1}, {out: 1}))
+        self.program.append(("mul", _freeze(sig), _freeze(self.one()), out))
+        return Signal(self, {out: 1})
+
+    def output(self, sig, name):
+        """Expose a signal as a named public output."""
+        if name in self.output_wires:
+            raise ValueError(f"duplicate output name {name!r}")
+        wire_sig = self.make_wire(sig, label=name)
+        w = next(iter(wire_sig.terms))
+        self.output_wires[name] = w
+        if w not in self.public_wires:
+            self.public_wires.append(w)
+        return wire_sig
+
+
+def _freeze(sig):
+    """Snapshot a signal as ``(terms_tuple, const)`` for the witness program."""
+    return (tuple(sorted(sig.terms.items())), sig.const)

@@ -1,0 +1,182 @@
+"""R1CS simplification (circom's ``--O1``-style post-compile pass).
+
+Three sound transformations over a compiled circuit:
+
+1. **tautology elimination** — constraints whose three sides are constants
+   satisfying ``a*b == c`` hold for every witness and are dropped
+   (a violated constant constraint raises instead: the circuit is
+   unsatisfiable and compiling it further is a bug);
+2. **duplicate elimination** — structurally identical constraints are
+   kept once;
+3. **wire compaction** — wires referenced by no constraint, no input, no
+   output and no public declaration are removed and the remaining wires
+   renumbered, shrinking every downstream key and the witness vector.
+
+The witness program is remapped alongside, so
+:func:`repro.groth16.witness.generate_witness` keeps working on the
+optimized circuit.  Returns the new circuit plus an
+:class:`OptimizationReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.compiler import CompiledCircuit
+from repro.circuit.r1cs import R1CS, Constraint
+
+__all__ = ["OptimizationReport", "optimize"]
+
+
+@dataclass(frozen=True)
+class OptimizationReport:
+    """What the pass removed."""
+
+    tautologies_removed: int
+    duplicates_removed: int
+    wires_removed: int
+    constraints_before: int
+    constraints_after: int
+    wires_before: int
+    wires_after: int
+
+    @property
+    def changed(self):
+        return (self.tautologies_removed or self.duplicates_removed
+                or self.wires_removed)
+
+
+def _is_constant_row(row):
+    return not row or set(row) == {0}
+
+
+def _row_key(row):
+    return tuple(sorted(row.items()))
+
+
+def optimize(circuit):
+    """Return ``(optimized_circuit, report)`` for a
+    :class:`~repro.circuit.compiler.CompiledCircuit`."""
+    r1cs = circuit.r1cs
+    fr = r1cs.fr
+
+    # -- pass 1+2: drop tautologies and duplicates ---------------------------
+    kept = []
+    seen = set()
+    tautologies = duplicates = 0
+    for idx, cons in enumerate(r1cs.constraints):
+        if (_is_constant_row(cons.a) and _is_constant_row(cons.b)
+                and _is_constant_row(cons.c)):
+            lhs = fr.mul(cons.a.get(0, 0), cons.b.get(0, 0))
+            if lhs != cons.c.get(0, 0):
+                raise ValueError(
+                    f"constraint {idx} is constant and violated; "
+                    f"the circuit is unsatisfiable"
+                )
+            tautologies += 1
+            continue
+        key = (_row_key(cons.a), _row_key(cons.b), _row_key(cons.c))
+        if key in seen:
+            duplicates += 1
+            continue
+        seen.add(key)
+        kept.append(cons)
+
+    # -- pass 3: wire compaction ------------------------------------------------
+    used = {0}
+    used.update(r1cs.public_wires)
+    used.update(circuit.input_wires.values())
+    used.update(circuit.output_wires.values())
+    for cons in kept:
+        used.update(cons.wires())
+    # The witness program may compute intermediates other steps consume.
+    for step in circuit.program:
+        if step[0] == "mul":
+            _, fa, fb, out = step
+            if out in used:
+                used.update(w for w, _ in fa[0])
+                used.update(w for w, _ in fb[0])
+        else:
+            _, _fn, frozen_ins, outs = step
+            if any(o in used for o in outs):
+                for fz in frozen_ins:
+                    used.update(w for w, _ in fz[0])
+                used.update(outs)
+    # Fixed point: hint/mul inputs may transitively enable more wires.
+    changed = True
+    while changed:
+        changed = False
+        for step in circuit.program:
+            if step[0] == "mul":
+                _, fa, fb, out = step
+                if out in used:
+                    for w, _ in fa[0] + fb[0]:
+                        if w not in used:
+                            used.add(w)
+                            changed = True
+            else:
+                _, _fn, frozen_ins, outs = step
+                if any(o in used for o in outs):
+                    for fz in frozen_ins:
+                        for w, _ in fz[0]:
+                            if w not in used:
+                                used.add(w)
+                                changed = True
+                    for o in outs:
+                        if o not in used:
+                            used.add(o)
+                            changed = True
+
+    remap = {}
+    for old in sorted(used):
+        remap[old] = len(remap)
+
+    def _map_row(row):
+        return {remap[w]: c for w, c in row.items()}
+
+    def _map_frozen(fz):
+        terms, const = fz
+        return (tuple((remap[w], c) for w, c in terms), const)
+
+    new_constraints = [
+        Constraint(_map_row(c.a), _map_row(c.b), _map_row(c.c)) for c in kept
+    ]
+    new_program = []
+    for step in circuit.program:
+        if step[0] == "mul":
+            _, fa, fb, out = step
+            if out in used:
+                new_program.append(("mul", _map_frozen(fa), _map_frozen(fb),
+                                    remap[out]))
+        else:
+            _, fn, frozen_ins, outs = step
+            if any(o in used for o in outs):
+                new_program.append(
+                    ("hint", fn, [_map_frozen(fz) for fz in frozen_ins],
+                     [remap[o] for o in outs])
+                )
+
+    new_r1cs = R1CS(
+        fr,
+        n_wires=len(remap),
+        public_wires=[remap[w] for w in r1cs.public_wires],
+        constraints=new_constraints,
+        labels={remap[w]: name for w, name in r1cs.labels.items() if w in used},
+    )
+    optimized = CompiledCircuit(
+        name=circuit.name,
+        r1cs=new_r1cs,
+        program=new_program,
+        input_wires={n: remap[w] for n, w in circuit.input_wires.items()},
+        output_wires={n: remap[w] for n, w in circuit.output_wires.items()},
+    )
+    report = OptimizationReport(
+        tautologies_removed=tautologies,
+        duplicates_removed=duplicates,
+        wires_removed=r1cs.n_wires - len(remap),
+        constraints_before=r1cs.n_constraints,
+        constraints_after=len(new_constraints),
+        wires_before=r1cs.n_wires,
+        wires_after=len(remap),
+    )
+    return optimized, report

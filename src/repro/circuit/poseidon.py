@@ -1,0 +1,155 @@
+"""Poseidon-style sponge permutation gadget.
+
+Poseidon is the de-facto ZK-native hash (Zcash/Filecoin circuits): an
+x^5 S-box, an MDS matrix mix, and a full/partial round structure chosen so
+the constraint count stays low — each x^5 costs just two multiplication
+gates, and partial rounds apply the S-box to a single lane.
+
+This implementation keeps the structure (t-lane state, R_F full + R_P
+partial rounds, per-round constants, fixed MDS matrix) with parameters
+derived deterministically from the field, rather than the official
+instance sets — it is a workload-faithful, collision-resistant-*looking*
+permutation for circuits and benchmarks, not a drop-in for the audited
+parameterizations (documented limitation).
+"""
+
+from __future__ import annotations
+
+__all__ = ["PoseidonParams", "poseidon_permutation", "poseidon_hash",
+           "poseidon_hash_native"]
+
+#: Default width (capacity 1 + rate 2) and round numbers; R_F/R_P follow
+#: the shape of the published 128-bit instances for t = 3.
+DEFAULT_T = 3
+DEFAULT_FULL_ROUNDS = 8
+DEFAULT_PARTIAL_ROUNDS = 22
+
+
+class PoseidonParams:
+    """Round constants and MDS matrix for one field/width instance."""
+
+    def __init__(self, fr, t=DEFAULT_T, full_rounds=DEFAULT_FULL_ROUNDS,
+                 partial_rounds=DEFAULT_PARTIAL_ROUNDS):
+        if t < 2:
+            raise ValueError(f"state width must be >= 2, got {t}")
+        if full_rounds % 2:
+            raise ValueError("full rounds must be even (half before, half after)")
+        self.fr = fr
+        self.t = t
+        self.full_rounds = full_rounds
+        self.partial_rounds = partial_rounds
+        n_rounds = full_rounds + partial_rounds
+        self.round_constants = self._derive_constants(n_rounds * t)
+        self.mds = self._derive_mds()
+
+    def _derive_constants(self, count, seed=0x706F736569646F6E):  # "poseidon"
+        out = []
+        fr = self.fr
+        c = seed % fr.modulus
+        for _ in range(count):
+            c = (c * c + 13) % fr.modulus
+            out.append(c)
+        return out
+
+    def _derive_mds(self):
+        """A Cauchy matrix ``1 / (x_i + y_j)`` — invertible and MDS."""
+        fr = self.fr
+        xs = list(range(1, self.t + 1))
+        ys = list(range(self.t + 1, 2 * self.t + 1))
+        return [
+            [fr.inv((x + y) % fr.modulus) for y in ys]
+            for x in xs
+        ]
+
+
+def _native_sbox(fr, x):
+    x2 = fr.sqr(x)
+    return fr.mul(fr.sqr(x2), x)
+
+
+def poseidon_permutation_native(params, state):
+    """Reference (out-of-circuit) permutation on a list of ints."""
+    fr = params.fr
+    t = params.t
+    state = [s % fr.modulus for s in state]
+    if len(state) != t:
+        raise ValueError(f"state width {len(state)} != {t}")
+    half = params.full_rounds // 2
+    rc = iter(params.round_constants)
+    for rnd in range(params.full_rounds + params.partial_rounds):
+        state = [fr.add(s, next(rc)) for s in state]
+        if half <= rnd < half + params.partial_rounds:
+            state[0] = _native_sbox(fr, state[0])  # partial round
+        else:
+            state = [_native_sbox(fr, s) for s in state]
+        state = [
+            _dot(fr, row, state) for row in params.mds
+        ]
+    return state
+
+
+def _dot(fr, row, state):
+    acc = 0
+    for coef, s in zip(row, state):
+        acc = fr.add(acc, fr.mul(coef, s))
+    return acc
+
+
+def _circuit_sbox(builder, sig):
+    """x^5 in two multiplication gates."""
+    x2 = builder.mul(sig, sig)
+    x4 = builder.mul(x2, x2)
+    return builder.mul(x4, sig)
+
+
+def poseidon_permutation(builder, state, params=None):
+    """In-circuit permutation over a list of signals."""
+    params = params or PoseidonParams(builder.fr)
+    if len(state) != params.t:
+        raise ValueError(f"state width {len(state)} != {params.t}")
+    half = params.full_rounds // 2
+    rc = iter(params.round_constants)
+    for rnd in range(params.full_rounds + params.partial_rounds):
+        state = [s + next(rc) for s in state]
+        if half <= rnd < half + params.partial_rounds:
+            state = [_circuit_sbox(builder, state[0])] + state[1:]
+        else:
+            state = [_circuit_sbox(builder, s) for s in state]
+        state = [
+            _lincomb(builder, row, state) for row in params.mds
+        ]
+    return state
+
+
+def _lincomb(builder, row, state):
+    acc = builder.constant(0)
+    for coef, s in zip(row, state):
+        acc = acc + s.scale(coef)
+    return acc
+
+
+def poseidon_hash(builder, inputs, params=None):
+    """Sponge hash of a list of signals (rate ``t - 1``, capacity 1)."""
+    params = params or PoseidonParams(builder.fr)
+    rate = params.t - 1
+    state = [builder.constant(0) for _ in range(params.t)]
+    for chunk_start in range(0, max(len(inputs), 1), rate):
+        chunk = inputs[chunk_start: chunk_start + rate]
+        for i, sig in enumerate(chunk):
+            state[1 + i] = state[1 + i] + sig
+        state = poseidon_permutation(builder, state, params)
+    return state[1]
+
+
+def poseidon_hash_native(fr, values, params=None):
+    """Reference hash on plain ints — must agree with the circuit."""
+    params = params or PoseidonParams(fr)
+    rate = params.t - 1
+    state = [0] * params.t
+    values = [v % fr.modulus for v in values]
+    for chunk_start in range(0, max(len(values), 1), rate):
+        chunk = values[chunk_start: chunk_start + rate]
+        for i, v in enumerate(chunk):
+            state[1 + i] = fr.add(state[1 + i], v)
+        state = poseidon_permutation_native(params, state)
+    return state[1]

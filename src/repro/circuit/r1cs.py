@@ -1,0 +1,120 @@
+"""Rank-1 Constraint Systems.
+
+An R1CS over the scalar field is a list of constraints
+``<A_j, z> * <B_j, z> = <C_j, z>`` on the witness vector ``z``, with
+``z[0] == 1`` by convention (Section II-C of the paper; Fig. 2 shows the
+``y = x^3`` instance).  Rows are stored sparsely as ``{wire: coeff}`` maps —
+the same shape circom's ``.r1cs`` format uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["R1CS", "Constraint"]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One R1CS row: three sparse linear combinations ``A * B = C``."""
+
+    a: dict
+    b: dict
+    c: dict
+
+    def wires(self):
+        """Every wire index referenced by this constraint."""
+        return set(self.a) | set(self.b) | set(self.c)
+
+
+class R1CS:
+    """A complete constraint system plus its public-wire layout.
+
+    Parameters
+    ----------
+    fr:
+        The scalar :class:`~repro.fields.prime_field.PrimeField`.
+    n_wires:
+        Total witness length, including the constant wire 0.
+    public_wires:
+        Wire indices visible to the verifier, **starting with wire 0**
+        (the constant one) followed by declared public inputs and outputs.
+    constraints:
+        List of :class:`Constraint`.
+    labels:
+        Optional ``{wire: name}`` map for diagnostics.
+    """
+
+    def __init__(self, fr, n_wires, public_wires, constraints, labels=None):
+        if not public_wires or public_wires[0] != 0:
+            raise ValueError("public_wires must start with the constant wire 0")
+        if len(set(public_wires)) != len(public_wires):
+            raise ValueError("public_wires contains duplicates")
+        for w in public_wires:
+            if not 0 <= w < n_wires:
+                raise ValueError(f"public wire {w} out of range (n_wires={n_wires})")
+        self.fr = fr
+        self.n_wires = n_wires
+        self.public_wires = list(public_wires)
+        self.constraints = list(constraints)
+        self.labels = dict(labels or {})
+
+    @property
+    def n_constraints(self):
+        return len(self.constraints)
+
+    @property
+    def n_public(self):
+        """Number of verifier-visible wires (including the constant)."""
+        return len(self.public_wires)
+
+    def private_wires(self):
+        """All wires the verifier does not see, in index order."""
+        pub = set(self.public_wires)
+        return [w for w in range(self.n_wires) if w not in pub]
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def eval_lc(self, row, witness):
+        """Evaluate a sparse linear combination against a witness vector."""
+        f = self.fr
+        acc = 0
+        for wire, coeff in row.items():
+            acc = f.add(acc, f.mul(coeff, witness[wire]))
+        return acc
+
+    def is_satisfied(self, witness):
+        """True iff every constraint holds for *witness* (``witness[0] == 1``)."""
+        return self.check(witness) is None
+
+    def check(self, witness):
+        """Return ``None`` if satisfied, else the index of the first
+        violated constraint (with a sanity check on the constant wire)."""
+        if len(witness) != self.n_wires:
+            raise ValueError(f"witness length {len(witness)} != n_wires {self.n_wires}")
+        if witness[0] != 1:
+            return -1
+        f = self.fr
+        for j, cons in enumerate(self.constraints):
+            lhs = f.mul(self.eval_lc(cons.a, witness), self.eval_lc(cons.b, witness))
+            if lhs != self.eval_lc(cons.c, witness):
+                return j
+        return None
+
+    # -- metadata -----------------------------------------------------------------------
+
+    def stats(self):
+        """Shape summary used by reports: wires, constraints, nonzeros."""
+        nnz = sum(len(c.a) + len(c.b) + len(c.c) for c in self.constraints)
+        return {
+            "n_wires": self.n_wires,
+            "n_public": self.n_public,
+            "n_constraints": self.n_constraints,
+            "nonzeros": nnz,
+        }
+
+    def __repr__(self):
+        return (
+            f"R1CS({self.fr.name}, wires={self.n_wires}, "
+            f"public={self.n_public}, constraints={self.n_constraints})"
+        )

@@ -1,0 +1,135 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+    python -m repro list
+    python -m repro run fig4 [--sizes 64,128,256] [--curves bn128]
+    python -m repro run all --out results/
+    python -m repro prove --curve bn128 --exponent 64 --x 3
+
+``run`` drives the same experiment reducers the benchmark suite asserts
+against; ``prove`` runs the five-stage protocol once and reports timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.harness import experiments
+from repro.harness.runner import DEFAULT_SIZES, profile_sweep
+
+#: Artifact name -> experiment entry point.
+ARTIFACTS = {
+    "e0": experiments.exec_time_breakdown,
+    "fig4": experiments.fig4_topdown,
+    "fig5": experiments.fig5_loads_stores,
+    "fig6": experiments.fig6_strong_scaling,
+    "fig7": experiments.fig7_weak_scaling,
+    "table2": experiments.table2_mpki,
+    "table3": experiments.table3_bandwidth,
+    "table4": experiments.table4_functions,
+    "table5": experiments.table5_opcode_mix,
+    "table6": experiments.table6_parallelism,
+}
+
+
+def _parse_sizes(text):
+    sizes = tuple(int(s) for s in text.split(","))
+    if not sizes or any(n < 1 for n in sizes):
+        raise argparse.ArgumentTypeError(f"bad size list {text!r}")
+    return sizes
+
+
+def _parse_curves(text):
+    return tuple(text.split(","))
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Performance Analysis of Zero-Knowledge "
+                    "Proofs' (IISWC 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the regenerable paper artifacts")
+
+    run = sub.add_parser("run", help="regenerate one artifact (or 'all')")
+    run.add_argument("artifact", choices=sorted(ARTIFACTS) + ["all"])
+    run.add_argument("--sizes", type=_parse_sizes, default=DEFAULT_SIZES,
+                     help="comma-separated constraint counts")
+    run.add_argument("--curves", type=_parse_curves,
+                     default=("bn128", "bls12_381"))
+    run.add_argument("--out", default=None,
+                     help="directory to also write rendered artifacts into")
+
+    prove = sub.add_parser("prove", help="run the five-stage protocol once")
+    prove.add_argument("--curve", default="bn128")
+    prove.add_argument("--exponent", type=int, default=64)
+    prove.add_argument("--x", type=int, default=3)
+    return parser
+
+
+def cmd_list(_args, out=print):
+    out("artifact  | paper reference")
+    out("----------+-------------------------------------------")
+    refs = {
+        "e0": "Section IV-B execution-time breakdown",
+        "fig4": "Fig. 4 top-down microarchitecture analysis",
+        "fig5": "Fig. 5 loads and stores",
+        "fig6": "Fig. 6 strong scaling",
+        "fig7": "Fig. 7 weak scaling",
+        "table2": "Table II LLC MPKI",
+        "table3": "Table III max memory bandwidth",
+        "table4": "Table IV hot functions",
+        "table5": "Table V opcode mix",
+        "table6": "Table VI serial/parallel decomposition",
+    }
+    for name in sorted(ARTIFACTS):
+        out(f"{name:9s} | {refs[name]}")
+    return 0
+
+
+def cmd_run(args, out=print):
+    names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    out(f"profiling sweep: curves={args.curves} sizes={args.sizes} ...")
+    sweep = profile_sweep(curve_names=args.curves, sizes=args.sizes)
+    for name in names:
+        result = ARTIFACTS[name](sweep)
+        text = result.render()
+        out("")
+        out(text)
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            with open(os.path.join(args.out, f"{name}.txt"), "w") as f:
+                f.write(text + "\n")
+    return 0
+
+
+def cmd_prove(args, out=print):
+    import random
+
+    from repro.curves import get_curve
+    from repro.harness.circuits import build_exponentiate
+    from repro.workflow import STAGES, Workflow
+
+    curve = get_curve(args.curve)
+    builder, inputs = build_exponentiate(curve, args.exponent, x_value=args.x)
+    wf = Workflow(curve, builder, inputs, seed=0)
+    for stage in STAGES:
+        t0 = time.perf_counter()
+        wf.run_stage(stage)
+        out(f"{stage:10s} {time.perf_counter() - t0:8.3f}s")
+    out(f"proof: {wf.proof.size_bytes()} bytes; accepted: {wf.accepted}")
+    return 0 if wf.accepted else 1
+
+
+def main(argv=None, out=print):
+    args = build_parser().parse_args(argv)
+    handler = {"list": cmd_list, "run": cmd_run, "prove": cmd_prove}[args.command]
+    return handler(args, out=out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""Optimal ate pairings for BN254 and BLS12-381.
+
+The Miller loop runs on the *untwisted* image of G2 inside ``E(Fp12)`` with
+affine coordinates, sharing each step's slope between the point update and
+the line evaluation.  This is the textbook formulation (the one py_ecc also
+uses) — slower than projective sparse-multiplication pipelines, but easy to
+audit, and the cost structure (big-integer multiplies dominating) is exactly
+what the paper's verifying-stage characterization depends on.
+
+The final exponentiation does the "easy" part with conjugation/Frobenius and
+the "hard" part by direct exponentiation with ``(p^4 - p^2 + 1) / r``.
+
+Correctness is established by the bilinearity/non-degeneracy property tests
+in ``tests/curves/test_pairing.py`` plus the end-to-end Groth16 tests — a
+non-degenerate bilinear map is precisely the interface Groth16 consumes.
+"""
+
+from __future__ import annotations
+
+from repro.fields.extensions import Fp12
+from repro.perf import trace
+
+__all__ = ["PairingEngine"]
+
+
+class PairingEngine:
+    """Pairing ``e : G1 x G2 -> Fp12`` for one :class:`CurveSpec`."""
+
+    def __init__(self, curve):
+        self.curve = curve
+        self.tower = curve.tower
+        p = curve.fq.modulus
+        r = curve.fr.modulus
+        hard = p**4 - p**2 + 1
+        if hard % r != 0:
+            raise ValueError(f"{curve.name}: r does not divide p^4 - p^2 + 1")
+        self._hard_exponent = hard // r
+        self._one = self.tower.fp12_one()
+
+    # -- embeddings ------------------------------------------------------------
+
+    def _fp12_scalar(self, c):
+        """Embed a base-field integer as an Fp12 element."""
+        z = (0, 0)
+        return Fp12(self.tower, ((c, 0), z, z), (z, z, z))
+
+    def embed_g1(self, P):
+        """Map an affine G1 point (ints) to ``E(Fp12)`` coordinates."""
+        x, y = P
+        return (self._fp12_scalar(x), self._fp12_scalar(y))
+
+    def untwist_g2(self, Q):
+        """Map an affine twist point (Fp2 pairs) to ``E(Fp12)``.
+
+        BN254 uses a D-type twist (``psi(x,y) = (x w^2, y w^3)``); BLS12-381
+        an M-type twist (``psi(x,y) = (x w^4 / xi, y w^3 / xi)``).  In the
+        tower basis ``w^2 = v`` these land on sparse Fp6 slots.
+        """
+        t = self.tower
+        xq, yq = Q
+        z = (0, 0)
+        if self.curve.family == "bn":
+            x12 = Fp12(t, (z, xq, z), (z, z, z))          # x * v
+            y12 = Fp12(t, (z, z, z), (z, yq, z))          # y * v * w
+        else:
+            xi_inv = t.f2_inv(t.xi)
+            xs = t.f2_mul(xq, xi_inv)
+            ys = t.f2_mul(yq, xi_inv)
+            x12 = Fp12(t, (z, z, xs), (z, z, z))          # x/xi * v^2
+            y12 = Fp12(t, (z, z, z), (z, ys, z))          # y/xi * v * w
+        return (x12, y12)
+
+    # -- affine steps in E(Fp12) --------------------------------------------------
+
+    def _double_step(self, R, P):
+        """Return ``(2R, line_{R,R}(P))`` sharing the tangent slope."""
+        x1, y1 = R
+        xt, yt = P
+        x1_sq = x1.square()
+        num = x1_sq + x1_sq + x1_sq
+        den = y1 + y1
+        m = num * den.inverse()
+        x3 = m.square() - (x1 + x1)
+        y3 = m * (x1 - x3) - y1
+        line = m * (xt - x1) - (yt - y1)
+        return (x3, y3), line
+
+    def _add_step(self, R, Q, P):
+        """Return ``(R + Q, line_{R,Q}(P))`` sharing the chord slope."""
+        x1, y1 = R
+        x2, y2 = Q
+        xt, yt = P
+        if x1 == x2:
+            if y1 == y2:
+                return self._double_step(R, P)
+            # Vertical line; R + Q is the identity.
+            return None, xt - x1
+        m = (y2 - y1) * (x2 - x1).inverse()
+        x3 = m.square() - x1 - x2
+        y3 = m * (x1 - x3) - y1
+        line = m * (xt - x1) - (yt - y1)
+        return (x3, y3), line
+
+    def _frobenius_point(self, R):
+        """Coordinate-wise Frobenius ``(x^p, y^p)`` — an endomorphism of E."""
+        x, y = R
+        return (x.frobenius(), y.frobenius())
+
+    # -- Miller loop -----------------------------------------------------------------
+
+    def miller_loop(self, P_aff, Q_aff):
+        """The Miller function value ``f`` before final exponentiation.
+
+        *P_aff* is an affine G1 point (raw ints), *Q_aff* an affine twist
+        point (raw Fp2 pairs).  Returns 1 if either input is the identity.
+        """
+        if P_aff is None or Q_aff is None:
+            return self._one
+        tracer = trace.CURRENT
+        if tracer is not None:
+            tracer.op("pairing_miller_loop")
+        P = self.embed_g1(P_aff)
+        Q = self.untwist_g2(Q_aff)
+        loop = self.curve.ate_loop
+        f = self._one
+        R = Q
+        for i in range(loop.bit_length() - 2, -1, -1):
+            R, line = self._double_step(R, P)
+            f = f * f * line
+            if (loop >> i) & 1:
+                R, line = self._add_step(R, Q, P)
+                f = f * line
+        if self.curve.family == "bn":
+            # Optimal ate for BN needs two Frobenius-twisted additions.
+            Q1 = self._frobenius_point(Q)
+            Q2 = self._frobenius_point(Q1)
+            nQ2 = (Q2[0], -Q2[1])
+            R, line = self._add_step(R, Q1, P)
+            f = f * line
+            _, line = self._add_step(R, nQ2, P)
+            f = f * line
+        elif self.curve.x_negative:
+            # BLS with negative x: conjugate f (valid up to final exp).
+            f = f.conjugate()
+        return f
+
+    # -- final exponentiation -----------------------------------------------------------
+
+    def final_exponentiation(self, f):
+        """Map a Miller value to the order-r cyclotomic subgroup."""
+        tracer = trace.CURRENT
+        if tracer is not None:
+            tracer.op("pairing_final_exp")
+        if f.is_zero():
+            raise ZeroDivisionError("final exponentiation of zero (degenerate pairing input)")
+        f1 = f.conjugate() * f.inverse()              # f^(p^6 - 1)
+        f2 = f1.frobenius().frobenius() * f1          # ... ^(p^2 + 1)
+        return f2 ** self._hard_exponent              # ... ^((p^4 - p^2 + 1)/r)
+
+    # -- public API ------------------------------------------------------------------------
+
+    def pairing(self, P, Q):
+        """``e(P, Q)`` for ``P`` in G1 and ``Q`` in G2 (group Points)."""
+        return self.final_exponentiation(
+            self.miller_loop(P.to_affine(), Q.to_affine())
+        )
+
+    def multi_pairing(self, pairs):
+        """``prod_i e(P_i, Q_i)`` with a single shared final exponentiation —
+        the standard verifier optimization (one final exp per proof)."""
+        f = self._one
+        for P, Q in pairs:
+            f = f * self.miller_loop(P.to_affine(), Q.to_affine())
+        return self.final_exponentiation(f)
+
+    def pairing_check(self, pairs):
+        """True iff ``prod_i e(P_i, Q_i) == 1`` — the Groth16 verify predicate."""
+        return self.multi_pairing(pairs).is_one()

@@ -1,0 +1,63 @@
+"""Field parameters for the two elliptic curves the paper evaluates.
+
+The paper calls the first curve "BN128" (the alt_bn128 / BN254 curve used by
+Ethereum and snarkjs' default) and the second "BLS12-381" (Zcash's curve).
+Constants below are the standard published parameters:
+
+- BN254: EIP-196/197, iden3/snarkjs ``bn128``.
+- BLS12-381: the Zcash protocol specification.
+"""
+
+from repro.fields.prime_field import PrimeField
+from repro.fields.extensions import TowerParams
+
+__all__ = [
+    "BN254_P", "BN254_R", "BN254_U",
+    "BLS12_381_P", "BLS12_381_R", "BLS12_381_X",
+    "BN254_FQ", "BN254_FR", "BN254_TOWER",
+    "BLS12_381_FQ", "BLS12_381_FR", "BLS12_381_TOWER",
+]
+
+# -- BN254 ("BN128") -----------------------------------------------------------
+
+#: BN family parameter u: p and r are degree-4 polynomials in u.
+BN254_U = 4965661367192848881
+
+#: Base-field characteristic (254 bits).
+BN254_P = 21888242871839275222246405745257275088696311157297823662689037894645226208583
+
+#: Group order / scalar-field characteristic (254 bits).
+BN254_R = 21888242871839275222246405745257275088548364400416034343698204186575808495617
+
+#: Optimal-ate Miller loop count for BN curves: 6u + 2.
+BN254_ATE_LOOP = 6 * BN254_U + 2
+
+BN254_FQ = PrimeField(BN254_P, "bn254.Fq")
+BN254_FR = PrimeField(BN254_R, "bn254.Fr")
+
+#: Tower: Fp2 = Fp[u]/(u^2+1); xi = 9 + u (D-type sextic twist).
+BN254_TOWER = TowerParams(BN254_FQ, beta=-1, xi=(9, 1))
+
+# -- BLS12-381 -------------------------------------------------------------------
+
+#: BLS family parameter x (negative): p = (x-1)^2 (x^4 - x^2 + 1)/3 + x.
+BLS12_381_X = -0xD201000000010000
+
+#: Base-field characteristic (381 bits).
+BLS12_381_P = int(
+    "1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f624"
+    "1eabfffeb153ffffb9feffffffffaaab",
+    16,
+)
+
+#: Group order / scalar-field characteristic (255 bits).
+BLS12_381_R = int(
+    "73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001",
+    16,
+)
+
+BLS12_381_FQ = PrimeField(BLS12_381_P, "bls12_381.Fq")
+BLS12_381_FR = PrimeField(BLS12_381_R, "bls12_381.Fr")
+
+#: Tower: Fp2 = Fp[u]/(u^2+1); xi = 1 + u (M-type sextic twist).
+BLS12_381_TOWER = TowerParams(BLS12_381_FQ, beta=-1, xi=(1, 1))

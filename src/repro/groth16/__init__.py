@@ -1,0 +1,40 @@
+"""The Groth16 zk-SNARK: setup, witness, proving and verifying stages.
+
+Together with the *compile* stage in :mod:`repro.circuit`, these four
+modules implement the five-stage workflow of the paper's Fig. 1 (the role
+snarkjs plays in the measured stack), over either supported curve.
+
+Typical use::
+
+    from repro.circuit import CircuitBuilder, compile_circuit, gadgets
+    from repro.curves import get_curve
+    from repro.groth16 import setup, generate_witness, prove, verify
+
+    curve = get_curve("bn128")
+    b = CircuitBuilder("pow", curve.fr)
+    y = gadgets.exponentiate(b, b.private_input("x"), 8)
+    b.output(y, "y")
+    circuit = compile_circuit(b)
+
+    pk, vk = setup(curve, circuit, rng)
+    witness = generate_witness(circuit, {"x": 3})
+    proof = prove(pk, circuit, witness, rng)
+    assert verify(vk, proof, public_inputs(circuit, witness))
+"""
+
+from repro.groth16.keys import Proof, ProvingKey, VerifyingKey
+from repro.groth16.setup import setup
+from repro.groth16.witness import generate_witness, public_inputs
+from repro.groth16.prover import prove
+from repro.groth16.verifier import verify
+
+__all__ = [
+    "Proof",
+    "ProvingKey",
+    "VerifyingKey",
+    "generate_witness",
+    "prove",
+    "public_inputs",
+    "setup",
+    "verify",
+]

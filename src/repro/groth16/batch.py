@@ -1,0 +1,87 @@
+"""Batch verification of Groth16 proofs.
+
+A server verifying a stream of proofs (the paper's motivating "millions of
+transactions" scenario) need not pay four Miller loops per proof: with
+random weights ``r_i`` the per-proof equations
+
+    ``e(A_i, B_i) = e(alpha, beta) * e(L_i, gamma) * e(C_i, delta)``
+
+fold into one product check whose gamma/delta legs collapse into single
+pairings of pre-combined G1 points:
+
+    ``prod_i e(r_i * A_i, B_i)
+      * e(-sum_i r_i * L_i, gamma)
+      * e(-sum_i r_i * C_i, delta)
+      * e(-(sum r_i) * alpha, beta)  == 1``
+
+— ``k + 3`` Miller loops and **one** final exponentiation for ``k``
+proofs, versus ``4k`` Miller loops and ``k`` final exponentiations
+individually.  The random weights make accepting any invalid proof in the
+batch as hard as a single forgery (a bad proof survives only if its error
+term is annihilated by the random ``r_i``).
+"""
+
+from __future__ import annotations
+
+from repro.curves.pairing import PairingEngine
+
+__all__ = ["batch_verify"]
+
+_ENGINES = {}
+
+
+def _engine(curve):
+    eng = _ENGINES.get(curve.name)
+    if eng is None:
+        eng = PairingEngine(curve)
+        _ENGINES[curve.name] = eng
+    return eng
+
+
+def batch_verify(vk, proofs_with_publics, rng):
+    """Verify many proofs against one verifying key in a single check.
+
+    Parameters
+    ----------
+    vk:
+        The shared :class:`~repro.groth16.keys.VerifyingKey`.
+    proofs_with_publics:
+        Iterable of ``(proof, publics)`` pairs, *publics* as accepted by
+        :func:`repro.groth16.verifier.verify`.
+    rng:
+        Source of the batching weights; must be unpredictable to the
+        prover (use a fresh system RNG in production).
+
+    Returns True iff **every** proof in the batch is valid.  An empty
+    batch is vacuously valid.
+    """
+    batch = list(proofs_with_publics)
+    if not batch:
+        return True
+    curve = vk.curve
+    fr = curve.fr
+    g1 = curve.g1
+
+    pairs = []
+    sum_r = 0
+    acc_l = g1.infinity()
+    acc_c = g1.infinity()
+    for proof, publics in batch:
+        if len(publics) != len(vk.ic) - 1:
+            raise ValueError(
+                f"expected {len(vk.ic) - 1} public inputs, got {len(publics)}"
+            )
+        # 128-bit weights keep the folding cheap without weakening the check.
+        r = rng.getrandbits(128) | 1
+        sum_r = fr.add(sum_r, r % fr.modulus)
+        vk_x = vk.ic[0]
+        for coeff, point in zip(publics, vk.ic[1:]):
+            vk_x = vk_x + point * (coeff % fr.modulus)
+        pairs.append((proof.a * r, proof.b))
+        acc_l = acc_l + vk_x * r
+        acc_c = acc_c + proof.c * r
+
+    pairs.append((-(vk.alpha1 * sum_r), vk.beta2))
+    pairs.append((-acc_l, vk.gamma2))
+    pairs.append((-acc_c, vk.delta2))
+    return _engine(curve).pairing_check(pairs)

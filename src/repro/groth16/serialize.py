@@ -1,0 +1,239 @@
+"""Binary serialization of Groth16 keys and proofs.
+
+A compact sectioned format in the spirit of snarkjs' ``.zkey`` /
+``proof.json``: little-endian ``u32`` lengths, uncompressed affine points
+(identity encoded as an all-zero coordinate pair, which is not a valid
+curve point otherwise), and fixed-width field elements.  Deserialization
+validates every point against the curve equation, so a corrupted or
+malicious key fails loudly rather than producing garbage proofs.
+
+The byte sizes produced here are exactly what
+:meth:`repro.groth16.keys.ProvingKey.size_bytes` models for the traced
+zkey streams.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.groth16.keys import Proof, ProvingKey, VerifyingKey
+
+__all__ = [
+    "proof_to_bytes", "proof_from_bytes",
+    "vk_to_bytes", "vk_from_bytes",
+    "pk_to_bytes", "pk_from_bytes",
+]
+
+_MAGIC_PROOF = b"RPRF"
+_MAGIC_VK = b"RPVK"
+_MAGIC_PK = b"RPPK"
+
+_CURVE_IDS = {"bn128": 1, "bls12_381": 2}
+_CURVE_BY_ID = {v: k for k, v in _CURVE_IDS.items()}
+
+
+class _Writer:
+    def __init__(self):
+        self.parts = []
+
+    def u32(self, v):
+        self.parts.append(struct.pack("<I", v))
+
+    def raw(self, b):
+        self.parts.append(b)
+
+    def bytes(self):
+        return b"".join(self.parts)
+
+
+class _Reader:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def u32(self):
+        (v,) = struct.unpack_from("<I", self.data, self.pos)
+        self.pos += 4
+        return v
+
+    def raw(self, n):
+        if self.pos + n > len(self.data):
+            raise ValueError("truncated encoding")
+        out = self.data[self.pos: self.pos + n]
+        self.pos += n
+        return out
+
+    def done(self):
+        if self.pos != len(self.data):
+            raise ValueError(f"{len(self.data) - self.pos} trailing bytes")
+
+
+# -- point codecs ---------------------------------------------------------------
+
+
+def _coord_bytes(group):
+    if hasattr(group.ops, "fq"):
+        return group.ops.fq.nbytes
+    return 2 * group.ops.tower.fq.nbytes
+
+
+def _write_point(w, group, point):
+    nb = _coord_bytes(group)
+    aff = point.to_affine()
+    if aff is None:
+        w.raw(b"\x00" * (2 * nb))
+        return
+    x, y = aff
+    if hasattr(group.ops, "fq"):
+        fq = group.ops.fq
+        w.raw(fq.to_bytes(x))
+        w.raw(fq.to_bytes(y))
+    else:
+        fq = group.ops.tower.fq
+        for c in (*x, *y):
+            w.raw(fq.to_bytes(c))
+
+
+def _read_point(r, group):
+    nb = _coord_bytes(group)
+    blob = r.raw(2 * nb)
+    if blob == b"\x00" * (2 * nb):
+        return group.infinity()
+    if hasattr(group.ops, "fq"):
+        fq = group.ops.fq
+        x = fq.from_bytes(blob[:nb])
+        y = fq.from_bytes(blob[nb:])
+    else:
+        fq = group.ops.tower.fq
+        half = nb // 2
+        x = (fq.from_bytes(blob[:half]), fq.from_bytes(blob[half: 2 * half]))
+        y = (fq.from_bytes(blob[2 * half: 3 * half]), fq.from_bytes(blob[3 * half:]))
+    return group.point(x, y)  # validates the curve equation
+
+
+def _write_points(w, group, points):
+    w.u32(len(points))
+    for p in points:
+        _write_point(w, group, p)
+
+
+def _read_points(r, group):
+    return [_read_point(r, group) for _ in range(r.u32())]
+
+
+def _header(w, magic, curve):
+    w.raw(magic)
+    w.u32(_CURVE_IDS[curve.name])
+
+
+def _check_header(r, magic):
+    from repro.curves import get_curve
+
+    got = r.raw(4)
+    if got != magic:
+        raise ValueError(f"bad magic {got!r}, expected {magic!r}")
+    curve_id = r.u32()
+    if curve_id not in _CURVE_BY_ID:
+        raise ValueError(f"unknown curve id {curve_id}")
+    return get_curve(_CURVE_BY_ID[curve_id])
+
+
+# -- proof -----------------------------------------------------------------------
+
+
+def proof_to_bytes(proof):
+    w = _Writer()
+    _header(w, _MAGIC_PROOF, proof.curve)
+    _write_point(w, proof.curve.g1, proof.a)
+    _write_point(w, proof.curve.g2, proof.b)
+    _write_point(w, proof.curve.g1, proof.c)
+    return w.bytes()
+
+
+def proof_from_bytes(data):
+    r = _Reader(data)
+    curve = _check_header(r, _MAGIC_PROOF)
+    a = _read_point(r, curve.g1)
+    b = _read_point(r, curve.g2)
+    c = _read_point(r, curve.g1)
+    r.done()
+    return Proof(curve=curve, a=a, b=b, c=c)
+
+
+# -- verifying key ------------------------------------------------------------------
+
+
+def vk_to_bytes(vk):
+    w = _Writer()
+    _header(w, _MAGIC_VK, vk.curve)
+    _write_point(w, vk.curve.g1, vk.alpha1)
+    _write_point(w, vk.curve.g2, vk.beta2)
+    _write_point(w, vk.curve.g2, vk.gamma2)
+    _write_point(w, vk.curve.g2, vk.delta2)
+    _write_points(w, vk.curve.g1, vk.ic)
+    w.u32(len(vk.public_wires))
+    for wire in vk.public_wires:
+        w.u32(wire)
+    return w.bytes()
+
+
+def vk_from_bytes(data):
+    r = _Reader(data)
+    curve = _check_header(r, _MAGIC_VK)
+    alpha1 = _read_point(r, curve.g1)
+    beta2 = _read_point(r, curve.g2)
+    gamma2 = _read_point(r, curve.g2)
+    delta2 = _read_point(r, curve.g2)
+    ic = _read_points(r, curve.g1)
+    public_wires = [r.u32() for _ in range(r.u32())]
+    r.done()
+    if len(ic) != len(public_wires):
+        raise ValueError("IC/public-wire length mismatch")
+    return VerifyingKey(curve=curve, alpha1=alpha1, beta2=beta2, gamma2=gamma2,
+                        delta2=delta2, ic=ic, public_wires=public_wires)
+
+
+# -- proving key ----------------------------------------------------------------------
+
+
+def pk_to_bytes(pk):
+    w = _Writer()
+    _header(w, _MAGIC_PK, pk.curve)
+    w.u32(pk.domain_size)
+    for pt in (pk.alpha1, pk.beta1, pk.delta1):
+        _write_point(w, pk.curve.g1, pt)
+    for pt in (pk.beta2, pk.delta2):
+        _write_point(w, pk.curve.g2, pt)
+    _write_points(w, pk.curve.g1, pk.a_query)
+    _write_points(w, pk.curve.g1, pk.b1_query)
+    _write_points(w, pk.curve.g2, pk.b2_query)
+    _write_points(w, pk.curve.g1, pk.h_query)
+    wires = sorted(pk.l_query)
+    w.u32(len(wires))
+    for wire in wires:
+        w.u32(wire)
+        _write_point(w, pk.curve.g1, pk.l_query[wire])
+    return w.bytes()
+
+
+def pk_from_bytes(data):
+    r = _Reader(data)
+    curve = _check_header(r, _MAGIC_PK)
+    domain_size = r.u32()
+    alpha1, beta1, delta1 = (_read_point(r, curve.g1) for _ in range(3))
+    beta2, delta2 = (_read_point(r, curve.g2) for _ in range(2))
+    a_query = _read_points(r, curve.g1)
+    b1_query = _read_points(r, curve.g1)
+    b2_query = _read_points(r, curve.g2)
+    h_query = _read_points(r, curve.g1)
+    l_query = {}
+    for _ in range(r.u32()):
+        wire = r.u32()
+        l_query[wire] = _read_point(r, curve.g1)
+    r.done()
+    return ProvingKey(
+        curve=curve, alpha1=alpha1, beta1=beta1, beta2=beta2,
+        delta1=delta1, delta2=delta2, a_query=a_query, b1_query=b1_query,
+        b2_query=b2_query, l_query=l_query, h_query=h_query,
+        domain_size=domain_size,
+    )

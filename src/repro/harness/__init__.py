@@ -1,0 +1,23 @@
+"""Experiment harness: the code that regenerates every table and figure.
+
+- :mod:`repro.harness.circuits` — benchmark circuit generators (the paper's
+  exponentiation circuit plus the domain-example circuits),
+- :mod:`repro.harness.runner` — runs workflow stages under tracers and
+  caches the resulting :class:`~repro.perf.analysis.StageProfile` objects,
+- :mod:`repro.harness.experiments` — one entry point per paper artifact
+  (E0 execution time, Fig. 4/5/6/7, Tables II-VI),
+- :mod:`repro.harness.report` — plain-text table/series rendering.
+"""
+
+from repro.harness.circuits import build_exponentiate
+from repro.harness.runner import profile_run, profile_sweep, DEFAULT_SIZES
+from repro.harness import experiments, report
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "build_exponentiate",
+    "experiments",
+    "profile_run",
+    "profile_sweep",
+    "report",
+]

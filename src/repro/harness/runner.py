@@ -1,0 +1,140 @@
+"""Stage execution and profile caching.
+
+:func:`profile_run` drives one (curve, size) cell of the paper's sweep:
+build the exponentiation circuit, run the five workflow stages each under a
+fresh tracer, and reduce every trace to a
+:class:`~repro.perf.analysis.StageProfile`.
+
+Profiles are cached in-process and (by default) on disk under
+``.repro_cache/`` keyed by a fingerprint of the ``repro`` sources, so the
+benchmark suite — one process per table/figure — does not re-trace the same
+cells.  Delete the directory or set ``REPRO_CACHE=0`` to disable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+
+import repro
+from repro.curves import get_curve
+from repro.harness.circuits import build_workload
+from repro.perf.analysis import analyze_stage
+from repro.perf.trace import Tracer
+from repro.workflow import STAGES, Workflow
+
+__all__ = ["DEFAULT_SIZES", "PAPER_SIZES", "profile_run", "profile_sweep"]
+
+#: Harness default: 2^6 .. 2^10.  Small enough that the full suite runs in
+#: minutes of pure Python, large enough that every size-dependent trend the
+#: paper reports is visible.  Pass ``sizes=PAPER_SIZES`` for the full range.
+DEFAULT_SIZES = tuple(2**k for k in range(6, 11))
+
+#: The paper's sweep: 2^10 .. 2^18 (Section IV-A).
+PAPER_SIZES = tuple(2**k for k in range(10, 19))
+
+#: Default memory-event sampling for large kernels (1 = exact).
+DEFAULT_MEM_SAMPLE = 1
+
+_MEMO = {}
+_FINGERPRINT = None
+
+
+def _source_fingerprint():
+    """Hash of every repro source file — the cache invalidation key."""
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        h = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for fn in sorted(filenames):
+                if fn.endswith(".py"):
+                    path = os.path.join(dirpath, fn)
+                    h.update(fn.encode())
+                    with open(path, "rb") as f:
+                        h.update(f.read())
+        _FINGERPRINT = h.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+def _cache_dir():
+    if os.environ.get("REPRO_CACHE", "1") == "0":
+        return None
+    base = os.environ.get("REPRO_CACHE_DIR")
+    if base is None:
+        base = os.path.join(os.getcwd(), ".repro_cache")
+    try:
+        os.makedirs(base, exist_ok=True)
+        return base
+    except OSError:
+        return None
+
+
+def profile_run(curve_name, size, seed=0, mem_sample=DEFAULT_MEM_SAMPLE,
+                workload="exponentiate"):
+    """Profile all five stages for one (curve, constraint-size) cell.
+
+    *workload* selects the benchmark circuit family
+    (:data:`repro.harness.circuits.WORKLOADS`); the paper sweeps
+    ``"exponentiate"``.  Returns ``{stage: StageProfile}``.
+    """
+    key = (curve_name, size, seed, mem_sample, workload, _source_fingerprint())
+    if key in _MEMO:
+        return _MEMO[key]
+
+    cache_dir = _cache_dir()
+    path = None
+    if cache_dir is not None:
+        fname = (f"profile_{workload}_{curve_name}_{size}_{seed}_"
+                 f"{mem_sample}_{key[-1]}.pkl")
+        path = os.path.join(cache_dir, fname)
+        if os.path.exists(path):
+            try:
+                with open(path, "rb") as f:
+                    profiles = pickle.load(f)
+                _MEMO[key] = profiles
+                return profiles
+            except Exception:
+                pass  # stale/corrupt cache entry: recompute below
+
+    curve = get_curve(curve_name)
+    builder, inputs = build_workload(workload, curve, size)
+    wf = Workflow(curve, builder, inputs, seed=seed)
+    profiles = {}
+    for stage in STAGES:
+        tracer = Tracer(label=f"{curve_name}/{size}/{stage}", mem_sample=mem_sample)
+        result = wf.run_stage(stage, tracer)
+        profiles[stage] = analyze_stage(
+            tracer, stage=stage, curve=curve_name, size=size, elapsed=result.elapsed
+        )
+    if wf.accepted is not True:
+        raise RuntimeError(
+            f"profiled workflow produced a rejected proof ({curve_name}, n={size})"
+        )
+
+    _MEMO[key] = profiles
+    if path is not None:
+        try:
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as f:
+                pickle.dump(profiles, f)
+            os.replace(tmp, path)
+        except Exception:
+            pass  # cache is best-effort
+    return profiles
+
+
+def profile_sweep(curve_names=("bn128", "bls12_381"), sizes=DEFAULT_SIZES,
+                  seed=0, mem_sample=DEFAULT_MEM_SAMPLE,
+                  workload="exponentiate"):
+    """The paper's full sweep: ``{(curve, size): {stage: StageProfile}}``."""
+    out = {}
+    for curve_name in curve_names:
+        for size in sizes:
+            out[(curve_name, size)] = profile_run(
+                curve_name, size, seed=seed, mem_sample=mem_sample,
+                workload=workload,
+            )
+    return out

@@ -1,0 +1,18 @@
+"""Multi-scalar multiplication kernels.
+
+MSM is the dominant kernel of Groth16's setup and proving stages (the module
+PipeZK and DistMSM accelerate).  Three implementations:
+
+- :func:`repro.msm.naive.msm_naive` — per-point double-and-add baseline
+  (the ablation comparator),
+- :func:`repro.msm.pippenger.msm_pippenger` — windowed bucket method, the
+  production path used by the prover,
+- :class:`repro.msm.fixed_base.FixedBaseTable` — fixed-base comb used by the
+  trusted setup, where thousands of scalars share one base point.
+"""
+
+from repro.msm.fixed_base import FixedBaseTable
+from repro.msm.naive import msm_naive
+from repro.msm.pippenger import msm_pippenger, optimal_window
+
+__all__ = ["FixedBaseTable", "msm_naive", "msm_pippenger", "optimal_window"]

@@ -1,0 +1,77 @@
+"""Function-level code analysis (the paper's Table IV).
+
+VTune's hotspot view attributes CPU time to functions; our cost model tags
+every primitive with the function family it lives in (``bigint``,
+``memcpy``, ``malloc``, ``heap allocation``, ``page fault exception
+handler``, plus the domain kernels), so the hotspot profile is the
+cycle-weighted share of each family in the traced stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.costmodel import aggregate
+
+__all__ = ["FunctionProfile", "Hotspot", "function_hotspots"]
+
+#: Human descriptions matching the paper's Table IV.
+FUNCTION_DESCRIPTIONS = {
+    "memcpy": "Copies a block of data to another address.",
+    "bigint": "Performs calculations on large integers.",
+    "heap allocation": "Manages the allocation of dynamic memory.",
+    "malloc": "Manages the allocation of dynamic memory.",
+    "page fault exception handler": "Handles page faults and retrieves the data.",
+    "interpreter": "Dispatches and executes interpreted (WASM) instructions.",
+    "fft": "Number-theoretic transform butterflies.",
+    "msm": "Multi-scalar multiplication bucket/window logic.",
+    "ec": "Elliptic-curve group operations.",
+    "pairing": "Bilinear pairing (Miller loop / final exponentiation).",
+    "hash": "Transcript/section hashing.",
+    "parser": "Input deserialization.",
+    "compiler": "Circuit graph traversal and lowering.",
+    "other": "Miscellaneous runtime support.",
+}
+
+
+@dataclass
+class Hotspot:
+    """One row of the hotspot report."""
+
+    function: str
+    cycles: float
+    share: float  # fraction of stage CPU time
+
+    @property
+    def description(self):
+        return FUNCTION_DESCRIPTIONS.get(self.function, "")
+
+
+@dataclass
+class FunctionProfile:
+    """Cycle attribution for one traced stage."""
+
+    total_cycles: float
+    hotspots: list  # sorted by share, descending
+
+    def share_of(self, function):
+        """CPU-time share of one function family (0.0 if absent)."""
+        for h in self.hotspots:
+            if h.function == function:
+                return h.share
+        return 0.0
+
+    def top(self, n=5):
+        return self.hotspots[:n]
+
+
+def function_hotspots(tracer):
+    """Build the VTune-style hotspot profile from a stage trace."""
+    summary = aggregate(tracer.total_counts())
+    total = max(summary.cycles, 1e-12)
+    hotspots = [
+        Hotspot(function=fn, cycles=cyc, share=cyc / total)
+        for fn, cyc in summary.by_function_cycles.items()
+    ]
+    hotspots.sort(key=lambda h: h.share, reverse=True)
+    return FunctionProfile(total_cycles=summary.cycles, hotspots=hotspots)

@@ -1,0 +1,52 @@
+"""Instruction-level code analysis (the paper's Table V).
+
+DynamoRIO classifies the dynamic opcode stream into compute (``add``,
+``and``, ``mul`` ...), control-flow (``jz``, ``jnb``, ``call`` ...) and
+data-flow (``mov``, ``push`` ...).  The cost model performs the same
+three-way split per primitive; this module reduces a stage trace to the
+paper's percentage triple and its classification ("compute-intensive",
+"control-flow intensive", "data-flow intensive").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.costmodel import aggregate
+
+__all__ = ["OpcodeMix", "opcode_mix"]
+
+
+@dataclass
+class OpcodeMix:
+    """Percentages of the three opcode classes for one stage."""
+
+    compute_pct: float
+    control_pct: float
+    data_pct: float
+    instructions: float
+
+    @property
+    def intensive(self):
+        """Which class dominates — the stage's Table V label."""
+        triples = {
+            "compute": self.compute_pct,
+            "control": self.control_pct,
+            "data": self.data_pct,
+        }
+        return max(triples, key=triples.get)
+
+    def as_tuple(self):
+        return (self.compute_pct, self.control_pct, self.data_pct)
+
+
+def opcode_mix(tracer):
+    """The stage's opcode-class percentages (summing to ~100)."""
+    summary = aggregate(tracer.total_counts())
+    comp, ctrl, data = summary.class_fractions()
+    return OpcodeMix(
+        compute_pct=100.0 * comp,
+        control_pct=100.0 * ctrl,
+        data_pct=100.0 * data,
+        instructions=summary.instructions,
+    )

@@ -1,0 +1,161 @@
+"""Scalability analysis: strong/weak scaling and Amdahl/Gustafson fits.
+
+The paper sweeps hardware threads with ``taskset``-style core masking and
+fits the measured speedups to Amdahl's law (strong scaling, Eq. 1) and
+Gustafson's law (weak scaling, Eq. 2).  Python's GIL makes a literal thread
+sweep meaningless here, so the reproduction *simulates* the sweep from the
+quantity the tracer actually measured: the cycle-weighted split of each
+stage's work into serial and parallelizable regions (every kernel loop in
+the ZKP stack is tagged; see :meth:`repro.perf.trace.Tracer.region`).
+
+The execution-time model for ``n`` threads on machine ``spec``:
+
+    ``t(n) = serial + max(parallel / capacity(n), traffic / bandwidth)
+             + spawn_overhead * n``
+
+- ``capacity(n)`` is the aggregate throughput of the first ``n`` hardware
+  threads from the machine's thread profile (P-cores, then E-cores, then
+  SMT siblings — the i9's heterogeneity is why its curves bend);
+- the DRAM-traffic floor caps bandwidth-hungry stages (setup/proving);
+- the per-thread spawn/teardown overhead makes *short* tasks regress at
+  high thread counts, reproducing the paper's observation that compile at
+  2^10 is slower on 24 threads than 18.
+
+The fits are the paper's exact formulas, solved in closed form by least
+squares on the linearized laws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.costmodel import aggregate
+
+__all__ = [
+    "WorkSplit",
+    "work_split",
+    "simulate_time",
+    "strong_scaling",
+    "weak_scaling",
+    "amdahl_fit",
+    "gustafson_fit",
+]
+
+#: Thread spawn/teardown/affinity overhead, in cycles per thread (~35 us at
+#: 3 GHz).  Scaled to the harness's scaled-down stage durations the same way
+#: the workloads themselves are scaled; large enough that sub-millisecond
+#: tasks regress at high thread counts, as the paper observes for compile
+#: at 2^10.
+DEFAULT_OVERHEAD_CYCLES = 100_000.0
+
+#: Default thread counts for strong-scaling sweeps (the paper's Fig. 6 runs
+#: 1..32 on the i9).
+DEFAULT_THREADS = (1, 2, 4, 8, 12, 16, 18, 24, 32)
+
+
+@dataclass
+class WorkSplit:
+    """A stage's work, split by the tracer's region tags."""
+
+    serial_cycles: float
+    parallel_cycles: float
+    traffic_bytes: float = 0.0
+
+    @property
+    def total_cycles(self):
+        return self.serial_cycles + self.parallel_cycles
+
+    @property
+    def parallel_fraction(self):
+        """Ground-truth parallel share (what the fits should recover)."""
+        total = self.total_cycles
+        return self.parallel_cycles / total if total else 0.0
+
+
+def work_split(tracer, traffic_bytes=0.0):
+    """Extract a :class:`WorkSplit` from a stage trace."""
+    serial, parallel = tracer.counts_by_parallel()
+    return WorkSplit(
+        serial_cycles=aggregate(serial).cycles,
+        parallel_cycles=aggregate(parallel).cycles,
+        traffic_bytes=traffic_bytes,
+    )
+
+
+def simulate_time(split, spec, n_threads, overhead_cycles=DEFAULT_OVERHEAD_CYCLES):
+    """Modeled execution time (in cycles) of the stage on *n_threads*."""
+    if n_threads < 1:
+        raise ValueError(f"thread count must be >= 1, got {n_threads}")
+    capacity = spec.parallel_capacity(n_threads)
+    par = split.parallel_cycles / capacity
+    if split.traffic_bytes and n_threads > 1:
+        # The DRAM floor: bytes that must move regardless of core count.
+        bw_cycles = split.traffic_bytes * spec.freq_ghz / spec.mem_bw_gbps
+        par = max(par, bw_cycles)
+    overhead = overhead_cycles * (n_threads - 1)
+    return split.serial_cycles + par + overhead
+
+
+def strong_scaling(split, spec, threads=DEFAULT_THREADS,
+                   overhead_cycles=DEFAULT_OVERHEAD_CYCLES):
+    """``{n: Speedup_SS(n)}`` — Eq. (1): ``t_1 / t_n`` at fixed size."""
+    t1 = simulate_time(split, spec, 1, overhead_cycles)
+    return {
+        n: t1 / simulate_time(split, spec, n, overhead_cycles)
+        for n in threads
+    }
+
+
+def weak_scaling(splits_by_scale, spec, overhead_cycles=DEFAULT_OVERHEAD_CYCLES):
+    """``{n: Speedup_WS(n)}`` — Eq. (2): ``t_1 * sf / t_n``.
+
+    *splits_by_scale* maps the thread count ``n`` to the :class:`WorkSplit`
+    measured at the proportionally scaled problem size (the paper doubles
+    constraints as threads double, so ``sf == n``).  Must contain ``1``.
+    """
+    if 1 not in splits_by_scale:
+        raise ValueError("weak scaling needs the baseline (n=1) split")
+    t1 = simulate_time(splits_by_scale[1], spec, 1, overhead_cycles)
+    out = {}
+    for n, split in sorted(splits_by_scale.items()):
+        tn = simulate_time(split, spec, n, overhead_cycles)
+        out[n] = t1 * n / tn
+    return out
+
+
+def amdahl_fit(speedups):
+    """Least-squares serial fraction under Amdahl's law.
+
+    Linearization: ``1/speedup(n) - 1/n = s * (1 - 1/n)``.
+    Returns ``(serial_fraction, parallel_fraction)`` clamped to [0, 1].
+    """
+    num = den = 0.0
+    for n, sp in speedups.items():
+        if n <= 1 or sp <= 0:
+            continue
+        x = 1.0 - 1.0 / n
+        y = 1.0 / sp - 1.0 / n
+        num += x * y
+        den += x * x
+    s = num / den if den else 1.0
+    s = min(max(s, 0.0), 1.0)
+    return s, 1.0 - s
+
+
+def gustafson_fit(speedups):
+    """Least-squares serial fraction under Gustafson's law.
+
+    Linearization: ``speedup(n) - n = s * (1 - n)``.
+    Returns ``(serial_fraction, parallel_fraction)`` clamped to [0, 1].
+    """
+    num = den = 0.0
+    for n, sp in speedups.items():
+        if n <= 1:
+            continue
+        x = 1.0 - n
+        y = sp - n
+        num += x * y
+        den += x * x
+    s = num / den if den else 1.0
+    s = min(max(s, 0.0), 1.0)
+    return s, 1.0 - s

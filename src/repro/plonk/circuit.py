@@ -1,0 +1,237 @@
+"""PLONK constraint systems.
+
+A PLONK circuit is a list of *gates*, each constraining three wire values
+``(a, b, c)`` through five selectors:
+
+    ``qL*a + qR*b + qO*c + qM*a*b + qC + PI == 0``
+
+plus *copy constraints*: wire slots referring to the same variable must
+carry equal values, enforced by the permutation argument.  Public inputs
+occupy the first gates (``qL = 1`` convention) and enter the identity
+through the public-input polynomial.
+
+The builder mirrors the Groth16-side DSL at a lower level: allocate
+variables, add custom gates or use the ``add``/``mul``/``constant``
+helpers, mark public inputs, then :meth:`compile` to pad the system and
+derive the permutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Gate", "PlonkCircuit", "CompiledPlonk"]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One row: selectors plus the three variable ids it wires up."""
+
+    ql: int
+    qr: int
+    qo: int
+    qm: int
+    qc: int
+    a: int
+    b: int
+    c: int
+
+
+class PlonkCircuit:
+    """Gate-list builder for one PLONK statement.
+
+    Variables are integers; variable 0 is pre-bound to the constant 0.
+    ``witness`` assignments are provided per variable at proving time via
+    the assignment vector built by :meth:`full_assignment`.
+    """
+
+    def __init__(self, fr, name="plonk"):
+        self.fr = fr
+        self.name = name
+        self.n_vars = 1  # var 0 == constant 0
+        self.gates = []
+        self.public_vars = []  # ordered public-input variables
+        self._hints = []       # (fn, in_vars, out_var) evaluation steps
+
+    # -- variables -------------------------------------------------------------
+
+    def new_var(self):
+        v = self.n_vars
+        self.n_vars += 1
+        return v
+
+    def public_input(self):
+        """Allocate a variable exposed as a public input.
+
+        Public-input gates are prepended at compile time; callers just
+        collect the returned variable ids.
+        """
+        v = self.new_var()
+        self.public_vars.append(v)
+        return v
+
+    # -- gates ------------------------------------------------------------------
+
+    def custom_gate(self, ql, qr, qo, qm, qc, a, b, c):
+        """Add a raw gate; selector values are reduced into the field."""
+        r = self.fr.modulus
+        for v in (a, b, c):
+            if not 0 <= v < self.n_vars:
+                raise ValueError(f"unknown variable {v}")
+        self.gates.append(Gate(ql % r, qr % r, qo % r, qm % r, qc % r, a, b, c))
+
+    def add_gate(self, a, b):
+        """c = a + b."""
+        c = self.new_var()
+        self.custom_gate(1, 1, -1, 0, 0, a, b, c)
+        self._hints.append((lambda fr, x, y: fr.add(x, y), (a, b), c))
+        return c
+
+    def mul_gate(self, a, b):
+        """c = a * b."""
+        c = self.new_var()
+        self.custom_gate(0, 0, -1, 1, 0, a, b, c)
+        self._hints.append((lambda fr, x, y: fr.mul(x, y), (a, b), c))
+        return c
+
+    def constant_gate(self, value):
+        """c = value (a new variable pinned to a constant)."""
+        c = self.new_var()
+        self.custom_gate(0, 0, -1, 0, value, 0, 0, c)
+        v = value % self.fr.modulus
+        self._hints.append((lambda fr, _x, _y, v=v: v, (0, 0), c))
+        return c
+
+    def assert_equal(self, a, b):
+        """Constrain two variables equal (a - b == 0)."""
+        self.custom_gate(1, -1, 0, 0, 0, a, b, 0)
+
+    def boolean_gate(self, a):
+        """Constrain ``a`` boolean: a*a - a == 0."""
+        self.custom_gate(-1, 0, 0, 1, 0, a, a, 0)
+
+    # -- assignment -------------------------------------------------------------------
+
+    def full_assignment(self, inputs):
+        """Build the per-variable value vector from ``{public_var: value}``
+        plus any privately assigned variables, replaying the gate hints.
+
+        *inputs* must cover every variable that is not derived by a helper
+        gate (public inputs and free private variables).
+        """
+        fr = self.fr
+        values = [None] * self.n_vars
+        values[0] = 0
+        for var, val in inputs.items():
+            if not 0 <= var < self.n_vars:
+                raise ValueError(f"unknown variable {var}")
+            values[var] = val % fr.modulus
+        for fn, (x, y), out in self._hints:
+            if values[out] is not None:
+                continue  # explicitly assigned by the caller
+            if values[x] is None or values[y] is None:
+                raise ValueError(f"variable {out} depends on unassigned inputs")
+            values[out] = fn(fr, values[x], values[y])
+        missing = [i for i, v in enumerate(values) if v is None]
+        if missing:
+            raise ValueError(f"unassigned variables: {missing[:8]}")
+        return values
+
+    def check(self, values):
+        """Directly check every gate against an assignment (no proof)."""
+        fr = self.fr
+        pub = set(self.public_vars)
+        for idx, g in enumerate(self.gates):
+            a, b, c = values[g.a], values[g.b], values[g.c]
+            acc = fr.add(fr.mul(g.ql, a), fr.mul(g.qr, b))
+            acc = fr.add(acc, fr.mul(g.qo, c))
+            acc = fr.add(acc, fr.mul(g.qm, fr.mul(a, b)))
+            acc = fr.add(acc, g.qc)
+            if acc != 0:
+                return idx
+        del pub
+        return None
+
+
+@dataclass
+class CompiledPlonk:
+    """The padded gate table plus permutation data the protocol consumes.
+
+    Row layout: ``n_public`` public-input rows first (``qL=1``; the PI
+    polynomial cancels them), then the circuit gates, then padding rows of
+    all-zero selectors, to a power-of-two ``n``.
+    """
+
+    fr: object
+    n: int
+    n_public: int
+    selectors: dict          # name -> list of n ints (ql, qr, qo, qm, qc)
+    wires: tuple             # (a_vars, b_vars, c_vars): variable id per row
+    public_vars: list
+
+    def wire_values(self, values):
+        """Per-column value vectors for an assignment."""
+        a = [values[v] for v in self.wires[0]]
+        b = [values[v] for v in self.wires[1]]
+        c = [values[v] for v in self.wires[2]]
+        return a, b, c
+
+    def check(self, values):
+        """Check every row against an assignment, *including* the
+        public-input rows (whose PI term cancels ``qL * x_i``).
+
+        Returns ``None`` when satisfied, else the first violating row.
+        """
+        fr = self.fr
+        wa, wb, wc = self.wire_values(values)
+        for row in range(self.n):
+            acc = fr.add(
+                fr.add(fr.mul(self.selectors["ql"][row], wa[row]),
+                       fr.mul(self.selectors["qr"][row], wb[row])),
+                fr.add(fr.mul(self.selectors["qo"][row], wc[row]),
+                       fr.mul(self.selectors["qm"][row],
+                              fr.mul(wa[row], wb[row]))),
+            )
+            acc = fr.add(acc, self.selectors["qc"][row])
+            if row < self.n_public:
+                acc = fr.sub(acc, values[self.public_vars[row]])  # PI_i = -x_i
+            if acc != 0:
+                return row
+        return None
+
+
+def compile_plonk(circuit):
+    """Pad the gate list and lay out the wire table (see
+    :class:`CompiledPlonk`)."""
+    fr = circuit.fr
+    n_pub = len(circuit.public_vars)
+    rows = []
+    # Public-input rows: qL * x_i + PI_i == 0 with PI_i = -x_i.
+    for v in circuit.public_vars:
+        rows.append(Gate(1, 0, 0, 0, 0, v, 0, 0))
+    rows.extend(circuit.gates)
+    n = 1
+    while n < max(len(rows), 2):
+        n *= 2
+    while len(rows) < n:
+        rows.append(Gate(0, 0, 0, 0, 0, 0, 0, 0))
+    selectors = {
+        "ql": [g.ql for g in rows],
+        "qr": [g.qr for g in rows],
+        "qo": [g.qo for g in rows],
+        "qm": [g.qm for g in rows],
+        "qc": [g.qc for g in rows],
+    }
+    wires = (
+        [g.a for g in rows],
+        [g.b for g in rows],
+        [g.c for g in rows],
+    )
+    return CompiledPlonk(
+        fr=fr,
+        n=n,
+        n_public=n_pub,
+        selectors=selectors,
+        wires=wires,
+        public_vars=list(circuit.public_vars),
+    )

@@ -1,0 +1,41 @@
+"""Fiat-Shamir transcript for the PLONK protocol.
+
+Both sides absorb the same objects in the same order; every challenge is
+the hash of everything absorbed so far, domain-separated by a label.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["Transcript"]
+
+
+class Transcript:
+    """An append-only SHA-256 transcript over field/group elements."""
+
+    def __init__(self, curve, label=b"repro/plonk/v1"):
+        self.curve = curve
+        self._h = hashlib.sha256()
+        self._h.update(label)
+
+    def absorb_scalar(self, value):
+        self._h.update(int(value % self.curve.fr.modulus).to_bytes(32, "little"))
+
+    def absorb_point(self, point):
+        aff = point.to_affine()
+        if aff is None:
+            self._h.update(b"\x00" * 16)
+            return
+        fq = self.curve.fq
+        self._h.update(fq.to_bytes(aff[0]))
+        self._h.update(fq.to_bytes(aff[1]))
+
+    def challenge(self, label):
+        """Derive a field element bound to everything absorbed so far."""
+        fork = self._h.copy()
+        fork.update(b"challenge:" + label)
+        value = int.from_bytes(fork.digest(), "big") % self.curve.fr.modulus
+        # Absorb the label so successive challenges differ.
+        self._h.update(b"used:" + label)
+        return value

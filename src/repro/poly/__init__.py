@@ -1,0 +1,17 @@
+"""Polynomial arithmetic over the scalar field.
+
+The Groth16 prover's polynomial work — interpolation of the constraint
+columns, evaluation on a coset, and the quotient ``h = (A*B - C)/Z`` — runs
+on the radix-2 NTT in :mod:`repro.poly.ntt` over the power-of-two domains of
+:mod:`repro.poly.domain` (both supported scalar fields have large two-adic
+subgroups: 2^28 for BN254, 2^32 for BLS12-381).
+
+:class:`repro.poly.polynomial.Polynomial` is the dense coefficient-form type
+used by tests and the QAP construction; kernels operate on raw int lists.
+"""
+
+from repro.poly.domain import EvaluationDomain
+from repro.poly.ntt import intt, ntt
+from repro.poly.polynomial import Polynomial
+
+__all__ = ["EvaluationDomain", "Polynomial", "intt", "ntt"]

@@ -1,0 +1,15 @@
+"""Quadratic Arithmetic Program construction (R1CS -> QAP)."""
+
+from repro.qap.qap import (
+    column_evaluations_at,
+    column_polynomials,
+    compute_h,
+    qap_domain,
+)
+
+__all__ = [
+    "column_evaluations_at",
+    "column_polynomials",
+    "compute_h",
+    "qap_domain",
+]

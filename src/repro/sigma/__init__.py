@@ -1,0 +1,33 @@
+"""Interactive zero-knowledge proofs (Section II-A of the paper).
+
+The paper contrasts *interactive* ZKPs (a challenge/response conversation)
+with the non-interactive zk-SNARK it profiles.  This package implements the
+canonical interactive protocol — Schnorr's sigma protocol for knowledge of
+a discrete logarithm — over the same elliptic-curve groups as the Groth16
+stack, plus the Fiat-Shamir transform [21] that removes the interaction.
+
+It exists to make the background concrete and testable: completeness,
+special soundness (a rewinding extractor), and honest-verifier zero
+knowledge (a transcript simulator) are all implemented and exercised by
+the test suite.
+"""
+
+from repro.sigma.schnorr import (
+    SchnorrProof,
+    SchnorrProver,
+    SchnorrVerifier,
+    extract_witness,
+    fiat_shamir_prove,
+    fiat_shamir_verify,
+    simulate_transcript,
+)
+
+__all__ = [
+    "SchnorrProof",
+    "SchnorrProver",
+    "SchnorrVerifier",
+    "extract_witness",
+    "fiat_shamir_prove",
+    "fiat_shamir_verify",
+    "simulate_transcript",
+]

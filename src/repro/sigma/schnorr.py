@@ -1,0 +1,181 @@
+"""Schnorr's sigma protocol: knowledge of x such that P = x*G.
+
+Three moves (Section II-A's interactive ZKP):
+
+1. *commit*:   prover samples r, sends R = r*G,
+2. *challenge*: verifier sends a random c,
+3. *response*: prover sends s = r + c*x; verifier checks s*G == R + c*P.
+
+The three defining properties are all constructive here:
+
+- **completeness** — honest runs verify (:class:`SchnorrProver` /
+  :class:`SchnorrVerifier`);
+- **special soundness** — two accepting transcripts sharing a commitment
+  yield the witness (:func:`extract_witness`), so a prover who can answer
+  two challenges must know x;
+- **honest-verifier zero-knowledge** — transcripts can be simulated
+  without the witness (:func:`simulate_transcript`), so transcripts leak
+  nothing.
+
+:func:`fiat_shamir_prove` derives the challenge from a hash of the
+transcript, producing the non-interactive variant [21] the paper cites as
+the bridge to zk-SNARKs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = [
+    "SchnorrProof",
+    "SchnorrProver",
+    "SchnorrVerifier",
+    "extract_witness",
+    "fiat_shamir_prove",
+    "fiat_shamir_verify",
+    "simulate_transcript",
+]
+
+
+def _encode_point(group, point):
+    """Canonical byte encoding of a point (affine, fixed width)."""
+    aff = point.to_affine()
+    if aff is None:
+        return b"\x00" * 8
+    if hasattr(group.ops, "fq"):
+        fq = group.ops.fq
+        return fq.to_bytes(aff[0]) + fq.to_bytes(aff[1])
+    fq = group.ops.tower.fq
+    return b"".join(fq.to_bytes(c) for c in (*aff[0], *aff[1]))
+
+
+@dataclass(frozen=True)
+class SchnorrProof:
+    """A (possibly non-interactive) transcript: commitment, challenge,
+    response."""
+
+    commitment: object  # R = r*G
+    challenge: int      # c
+    response: int       # s = r + c*x  (mod group order)
+
+
+class SchnorrProver:
+    """The prover's side of one interactive session.
+
+    Holds the witness ``x`` for the public point ``P = x*G``.  A fresh
+    nonce is drawn per session; reusing a nonce across sessions leaks the
+    witness (exactly what :func:`extract_witness` demonstrates).
+    """
+
+    def __init__(self, group, witness):
+        self.group = group
+        self.witness = witness % group.order
+        self.public = group.generator * self.witness
+        self._nonce = None
+
+    def commit(self, rng):
+        """Move 1: sample the nonce and send the commitment R = r*G."""
+        self._nonce = rng.randrange(1, self.group.order)
+        return self.group.generator * self._nonce
+
+    def respond(self, challenge):
+        """Move 3: answer the verifier's challenge."""
+        if self._nonce is None:
+            raise RuntimeError("commit() must be called before respond()")
+        s = (self._nonce + challenge * self.witness) % self.group.order
+        self._nonce = None  # single-use
+        return s
+
+
+class SchnorrVerifier:
+    """The verifier's side: issue a challenge, then check the equation."""
+
+    def __init__(self, group, public):
+        self.group = group
+        self.public = public
+        self._state = None
+
+    def challenge(self, commitment, rng):
+        """Move 2: record the commitment and send a uniform challenge."""
+        c = rng.randrange(self.group.order)
+        self._state = (commitment, c)
+        return c
+
+    def check(self, response):
+        """Final check: ``s*G == R + c*P``."""
+        if self._state is None:
+            raise RuntimeError("challenge() must be called before check()")
+        commitment, c = self._state
+        self._state = None
+        lhs = self.group.generator * response
+        rhs = commitment + self.public * c
+        return lhs == rhs
+
+
+def verify_transcript(group, public, proof):
+    """Stateless transcript check (used by both NI and extractor paths)."""
+    lhs = group.generator * proof.response
+    rhs = proof.commitment + public * proof.challenge
+    return lhs == rhs
+
+
+def _hash_challenge(group, public, commitment, message):
+    h = hashlib.sha256()
+    h.update(b"repro/schnorr/v1")
+    h.update(_encode_point(group, group.generator))
+    h.update(_encode_point(group, public))
+    h.update(_encode_point(group, commitment))
+    h.update(message)
+    return int.from_bytes(h.digest(), "big") % group.order
+
+
+def fiat_shamir_prove(group, witness, rng, message=b""):
+    """Non-interactive proof of knowledge of ``witness`` (Fiat-Shamir).
+
+    The challenge is the hash of (generator, public point, commitment,
+    message), so no verifier interaction is needed — the transform the
+    paper cites as the route from interactive ZKPs to zk-SNARKs.
+    """
+    witness %= group.order
+    public = group.generator * witness
+    r = rng.randrange(1, group.order)
+    commitment = group.generator * r
+    c = _hash_challenge(group, public, commitment, message)
+    s = (r + c * witness) % group.order
+    return public, SchnorrProof(commitment=commitment, challenge=c, response=s)
+
+
+def fiat_shamir_verify(group, public, proof, message=b""):
+    """Verify a Fiat-Shamir proof: recompute the challenge, check the
+    transcript."""
+    expected = _hash_challenge(group, public, proof.commitment, message)
+    if proof.challenge != expected:
+        return False
+    return verify_transcript(group, public, proof)
+
+
+def extract_witness(group, proof_a, proof_b):
+    """Special soundness: recover x from two accepting transcripts that
+    share a commitment but differ in challenge.
+
+    ``s1 - s2 = (c1 - c2) * x``, so ``x = (s1 - s2) / (c1 - c2)``.
+    Raises ``ValueError`` if the transcripts do not share a commitment or
+    have equal challenges.
+    """
+    if proof_a.commitment != proof_b.commitment:
+        raise ValueError("transcripts must share a commitment")
+    dc = (proof_a.challenge - proof_b.challenge) % group.order
+    if dc == 0:
+        raise ValueError("transcripts must have distinct challenges")
+    ds = (proof_a.response - proof_b.response) % group.order
+    return ds * pow(dc, -1, group.order) % group.order
+
+
+def simulate_transcript(group, public, rng):
+    """Honest-verifier zero-knowledge: produce an accepting transcript
+    *without* the witness by choosing (c, s) first and solving for R."""
+    c = rng.randrange(group.order)
+    s = rng.randrange(group.order)
+    commitment = group.generator * s - public * c
+    return SchnorrProof(commitment=commitment, challenge=c, response=s)

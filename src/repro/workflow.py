@@ -1,0 +1,132 @@
+"""The five-stage zk-SNARK workflow of the paper's Fig. 1.
+
+``Workflow`` wires the stages together — *compile*, *setup*, *witness*,
+*proving*, *verifying* — and is the unit every experiment in the harness
+drives: each stage can be executed separately (as the paper profiles them)
+with its own tracer, and the artifacts flow between stages exactly as in
+Fig. 1 (ccs; pk/vk; witnessFull/witnessPublic; proof; true/false).
+
+``STAGES`` fixes the canonical stage names and order used across the
+analyses, tables and figures.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.circuit.compiler import compile_circuit
+from repro.groth16 import generate_witness, prove, public_inputs, setup, verify
+from repro.perf import trace
+
+__all__ = ["STAGES", "StageResult", "Workflow"]
+
+#: Canonical stage order (Fig. 1).
+STAGES = ("compile", "setup", "witness", "proving", "verifying")
+
+
+@dataclass
+class StageResult:
+    """Outcome of one stage run: its artifact, wall time, and trace."""
+
+    stage: str
+    artifact: object
+    elapsed: float
+    tracer: object = None
+
+
+class Workflow:
+    """Drives one circuit through the five-stage zk-SNARK protocol.
+
+    Parameters
+    ----------
+    curve:
+        A :class:`~repro.curves.curve.CurveSpec`.
+    builder:
+        The authored :class:`~repro.circuit.dsl.CircuitBuilder` (the
+        "circuit" input of Fig. 1).
+    inputs:
+        ``{name: int}`` assignments for every circuit input.
+    seed:
+        Seed for the setup/proving randomness, so runs are reproducible.
+
+    Stages communicate through attributes (``circuit``, ``pk``, ``vk``,
+    ``witness``, ``proof``, ``accepted``); :meth:`run_stage` executes one
+    stage — under a tracer if given — and :meth:`run_all` executes the
+    whole protocol in order.
+    """
+
+    def __init__(self, curve, builder, inputs, seed=0):
+        self.curve = curve
+        self.builder = builder
+        self.inputs = dict(inputs)
+        self.seed = seed
+        self.circuit = None
+        self.pk = None
+        self.vk = None
+        self.witness = None
+        self.proof = None
+        self.accepted = None
+        self.results = {}
+
+    # -- stage implementations ---------------------------------------------------
+
+    def _stage_compile(self):
+        self.circuit = compile_circuit(self.builder)
+        return self.circuit
+
+    def _stage_setup(self):
+        self._require("compile", self.circuit)
+        rng = random.Random(f"setup:{self.seed}")
+        self.pk, self.vk = setup(self.curve, self.circuit, rng)
+        return (self.pk, self.vk)
+
+    def _stage_witness(self):
+        self._require("compile", self.circuit)
+        self.witness = generate_witness(self.circuit, self.inputs)
+        return self.witness
+
+    def _stage_proving(self):
+        self._require("setup", self.pk)
+        self._require("witness", self.witness)
+        rng = random.Random(f"prove:{self.seed}")
+        self.proof = prove(self.pk, self.circuit, self.witness, rng)
+        return self.proof
+
+    def _stage_verifying(self):
+        self._require("proving", self.proof)
+        self.accepted = verify(self.vk, self.proof, public_inputs(self.circuit, self.witness))
+        return self.accepted
+
+    def _require(self, stage, artifact):
+        if artifact is None:
+            raise RuntimeError(f"stage {stage!r} must run first")
+
+    # -- drivers -------------------------------------------------------------------
+
+    def run_stage(self, stage, tracer=None):
+        """Execute one stage, optionally under *tracer*; returns a
+        :class:`StageResult` (also recorded in :attr:`results`)."""
+        try:
+            impl = getattr(self, f"_stage_{stage}")
+        except AttributeError:
+            raise ValueError(f"unknown stage {stage!r}; expected one of {STAGES}") from None
+        start = time.perf_counter()
+        if tracer is None:
+            artifact = impl()
+        else:
+            with trace.tracing(tracer):
+                artifact = impl()
+        elapsed = time.perf_counter() - start
+        result = StageResult(stage=stage, artifact=artifact, elapsed=elapsed, tracer=tracer)
+        self.results[stage] = result
+        return result
+
+    def run_all(self, tracers=None):
+        """Run every stage in order.  *tracers* may map stage name ->
+        :class:`~repro.perf.trace.Tracer`.  Returns :attr:`results`."""
+        tracers = tracers or {}
+        for stage in STAGES:
+            self.run_stage(stage, tracers.get(stage))
+        return self.results

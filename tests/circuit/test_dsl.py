@@ -1,0 +1,183 @@
+"""Circuit DSL tests: signal algebra, gate/constraint accounting, hints."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, compile_circuit
+from repro.fields import BN254_FR
+from repro.groth16 import generate_witness
+
+FR = BN254_FR
+
+
+@pytest.fixture
+def b():
+    return CircuitBuilder("t", FR)
+
+
+def satisfied(builder, inputs):
+    circ = compile_circuit(builder)
+    w = generate_witness(circ, inputs)
+    return circ.r1cs.is_satisfied(w), circ, w
+
+
+class TestSignalAlgebra:
+    def test_addition_is_free(self, b):
+        x = b.private_input("x")
+        y = b.private_input("y")
+        _ = x + y + 5
+        assert len(b.constraints) == 0
+
+    def test_scaling_is_free(self, b):
+        x = b.private_input("x")
+        _ = x.scale(7) - x * 3
+        assert len(b.constraints) == 0
+
+    def test_mul_adds_one_constraint_and_wire(self, b):
+        x = b.private_input("x")
+        wires_before = b.n_wires
+        _ = x * x
+        assert len(b.constraints) == 1
+        assert b.n_wires == wires_before + 1
+
+    def test_constant_mul_short_circuits(self, b):
+        x = b.private_input("x")
+        _ = x * b.constant(5)
+        _ = b.constant(5) * x
+        assert len(b.constraints) == 0
+
+    def test_zero_coefficients_dropped(self, b):
+        x = b.private_input("x")
+        s = x - x
+        assert s.is_constant()
+        assert s.const == 0
+
+    def test_rsub(self, b):
+        x = b.private_input("x")
+        s = 10 - x
+        assert s.const == 10
+        assert list(s.terms.values()) == [FR.modulus - 1]
+
+    def test_cross_builder_mixing_raises(self, b):
+        other = CircuitBuilder("other", FR)
+        x = b.private_input("x")
+        y = other.private_input("y")
+        with pytest.raises(ValueError):
+            _ = x + y
+
+    def test_repr(self, b):
+        x = b.private_input("x")
+        assert "w1" in repr(x)
+
+
+class TestInputsOutputs:
+    def test_duplicate_input_name(self, b):
+        b.private_input("x")
+        with pytest.raises(ValueError):
+            b.public_input("x")
+
+    def test_duplicate_output_name(self, b):
+        x = b.private_input("x")
+        b.output(x * x, "y")
+        with pytest.raises(ValueError):
+            b.output(x, "y")
+
+    def test_public_wires_order(self, b):
+        p = b.public_input("p")
+        b.private_input("s")
+        b.output(p * p, "out")
+        # wire 0, then p, then the output wire.
+        assert b.public_wires[0] == 0
+        assert len(b.public_wires) == 3
+
+    def test_output_of_bare_wire_reuses_it(self, b):
+        x = b.private_input("x")
+        y = x * x
+        n = b.n_wires
+        b.output(y, "y")
+        assert b.n_wires == n  # no identity wire added
+
+    def test_output_of_composite_forces_wire(self, b):
+        x = b.private_input("x")
+        n = b.n_wires
+        b.output(x + 1, "y")
+        assert b.n_wires == n + 1
+
+
+class TestSemantics:
+    def test_mul_semantics(self, b):
+        x = b.private_input("x")
+        y = b.private_input("y")
+        b.output(x * y, "out")
+        ok, circ, w = satisfied(b, {"x": 6, "y": 7})
+        assert ok
+        assert w[circ.output_wires["out"]] == 42
+
+    def test_affine_operand_semantics(self, b):
+        x = b.private_input("x")
+        b.output((x + 3) * (x - 1), "out")
+        ok, circ, w = satisfied(b, {"x": 5})
+        assert ok
+        assert w[circ.output_wires["out"]] == 8 * 4
+
+    def test_assert_equal_satisfied(self, b):
+        x = b.private_input("x")
+        sq = x * x
+        b.assert_equal(sq, b.constant(49))
+        ok, _, _ = satisfied(b, {"x": 7})
+        assert ok
+
+    def test_assert_equal_violated(self, b):
+        x = b.private_input("x")
+        sq = x * x
+        b.assert_equal(sq, b.constant(49))
+        ok, _, _ = satisfied(b, {"x": 6})
+        assert not ok
+
+    def test_assert_equal_constant_fold(self, b):
+        b.assert_equal(b.constant(3), b.constant(3))  # no-op
+        with pytest.raises(ValueError):
+            b.assert_equal(b.constant(3), b.constant(4))
+
+    def test_assert_mul(self, b):
+        x = b.private_input("x")
+        y = b.private_input("y")
+        z = b.private_input("z")
+        b.assert_mul(x, y, z)
+        ok, _, _ = satisfied(b, {"x": 3, "y": 4, "z": 12})
+        assert ok
+        ok, _, _ = satisfied(b, {"x": 3, "y": 4, "z": 13})
+        assert not ok
+
+    def test_hint_computes_wires(self, b):
+        x = b.private_input("x")
+        (double,) = b.hint(lambda fr, vals: [vals[0] * 2 % fr.modulus], [x], 1)
+        b.assert_equal(double, x + x)
+        ok, _, _ = satisfied(b, {"x": 21})
+        assert ok
+
+    def test_hint_output_count_mismatch(self, b):
+        from repro.groth16.witness import WitnessError
+
+        x = b.private_input("x")
+        b.hint(lambda fr, vals: [1, 2], [x], 1)
+        circ = compile_circuit(b)
+        with pytest.raises(WitnessError):
+            generate_witness(circ, {"x": 1})
+
+    def test_unconstrained_hint_is_unsound_by_design(self, b):
+        # A hint without constraints lets any value through — documented
+        # behaviour matching circom's <-- operator.
+        x = b.private_input("x")
+        (free,) = b.hint(lambda fr, vals: [999], [x], 1)
+        b.output(free, "y")
+        ok, circ, w = satisfied(b, {"x": 1})
+        assert ok
+        assert w[circ.output_wires["y"]] == 999
+
+    def test_make_wire_identity_constraint(self, b):
+        x = b.private_input("x")
+        s = b.make_wire(x + 5)
+        b.output(s * s, "y")
+        ok, circ, w = satisfied(b, {"x": 2})
+        assert ok
+        assert w[circ.output_wires["y"]] == 49

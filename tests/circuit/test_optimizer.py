@@ -1,0 +1,107 @@
+"""Optimizer tests: soundness (proofs still work) and effectiveness."""
+
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, compile_circuit, gadgets
+from repro.circuit.optimizer import optimize
+from repro.curves import BN128
+from repro.fields import BN254_FR
+from repro.groth16 import generate_witness, prove, public_inputs, setup, verify
+
+FR = BN254_FR
+
+
+def build_messy_circuit():
+    """A circuit with duplicates, tautologies and dead wires."""
+    b = CircuitBuilder("messy", FR)
+    x = b.private_input("x")
+    y = x * x
+    b.output(y, "y")
+    # Duplicate of the square constraint.
+    b.assert_mul(x, x, y)
+    b.assert_mul(x, x, y)
+    # A constant tautology: 6 * 7 == 42.
+    b.assert_mul(b.constant(6), b.constant(7), b.constant(42))
+    # A dead wire: computed but never constrained or exposed.
+    _dead = b.mul(x, y)
+    # Remove the single constraint referencing _dead to orphan its wire.
+    b.constraints.pop()
+    return b
+
+
+class TestPasses:
+    def test_removes_everything_removable(self):
+        circ = compile_circuit(build_messy_circuit())
+        opt, report = optimize(circ)
+        assert report.tautologies_removed == 1
+        assert report.duplicates_removed == 2  # two extra square constraints
+        assert report.wires_removed == 1
+        assert report.changed
+        assert opt.n_constraints == circ.n_constraints - 3
+
+    def test_clean_circuit_untouched(self):
+        b = CircuitBuilder("clean", FR)
+        x = b.private_input("x")
+        b.output(gadgets.exponentiate(b, x, 4), "y")
+        circ = compile_circuit(b)
+        opt, report = optimize(circ)
+        assert not report.changed
+        assert opt.n_constraints == circ.n_constraints
+        assert opt.r1cs.n_wires == circ.r1cs.n_wires
+
+    def test_violated_constant_constraint_raises(self):
+        b = CircuitBuilder("bad", FR)
+        b.assert_mul(b.constant(2), b.constant(2), b.constant(5))
+        circ = compile_circuit(b)
+        with pytest.raises(ValueError, match="unsatisfiable"):
+            optimize(circ)
+
+    def test_public_wires_preserved(self):
+        circ = compile_circuit(build_messy_circuit())
+        opt, _ = optimize(circ)
+        assert len(opt.r1cs.public_wires) == len(circ.r1cs.public_wires)
+        assert opt.r1cs.public_wires[0] == 0
+
+
+class TestSemanticEquivalence:
+    def test_witness_agrees_on_outputs(self):
+        circ = compile_circuit(build_messy_circuit())
+        opt, _ = optimize(circ)
+        w_orig = generate_witness(circ, {"x": 9})
+        w_opt = generate_witness(opt, {"x": 9})
+        assert opt.r1cs.is_satisfied(w_opt)
+        assert w_opt[opt.output_wires["y"]] == w_orig[circ.output_wires["y"]]
+
+    def test_optimized_circuit_proves_and_verifies(self):
+        circ = compile_circuit(build_messy_circuit())
+        opt, _ = optimize(circ)
+        rng = random.Random(3)
+        pk, vk = setup(BN128, opt, rng)
+        w = generate_witness(opt, {"x": 5})
+        proof = prove(pk, opt, w, rng)
+        assert verify(vk, proof, public_inputs(opt, w))
+
+    def test_hints_survive_compaction(self):
+        b = CircuitBuilder("hints", FR)
+        x = b.private_input("x")
+        flag = gadgets.is_zero(b, x - 7)
+        b.output(flag, "eq7")
+        circ = compile_circuit(b)
+        opt, _ = optimize(circ)
+        w = generate_witness(opt, {"x": 7})
+        assert opt.r1cs.is_satisfied(w)
+        assert w[opt.output_wires["eq7"]] == 1
+        w2 = generate_witness(opt, {"x": 8})
+        assert opt.r1cs.is_satisfied(w2)
+        assert w2[opt.output_wires["eq7"]] == 0
+
+    def test_smaller_keys_after_compaction(self):
+        circ = compile_circuit(build_messy_circuit())
+        opt, report = optimize(circ)
+        assert report.wires_after < report.wires_before
+        rng = random.Random(4)
+        pk_orig, _ = setup(BN128, circ, rng)
+        pk_opt, _ = setup(BN128, opt, random.Random(4))
+        assert pk_opt.size_bytes() < pk_orig.size_bytes()

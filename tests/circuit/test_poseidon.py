@@ -1,0 +1,140 @@
+"""Poseidon gadget tests: circuit/native agreement, sponge behaviour,
+constraint costs, and an end-to-end preimage proof."""
+
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, compile_circuit
+from repro.circuit.poseidon import (
+    PoseidonParams,
+    poseidon_hash,
+    poseidon_hash_native,
+    poseidon_permutation,
+    poseidon_permutation_native,
+)
+from repro.curves import BN128
+from repro.fields import BN254_FR
+from repro.groth16 import generate_witness, prove, public_inputs, setup, verify
+
+FR = BN254_FR
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PoseidonParams(FR)
+
+
+class TestParams:
+    def test_round_constant_count(self, params):
+        expected = (params.full_rounds + params.partial_rounds) * params.t
+        assert len(params.round_constants) == expected
+
+    def test_mds_square_and_nonzero(self, params):
+        assert len(params.mds) == params.t
+        assert all(len(row) == params.t for row in params.mds)
+        assert all(all(v != 0 for v in row) for row in params.mds)
+
+    def test_mds_invertible(self, params):
+        # 3x3 determinant over the field must be non-zero (MDS => invertible).
+        m = params.mds
+        f = FR
+        det = f.sub(
+            f.add(
+                f.sub(f.mul(m[0][0], f.mul(m[1][1], m[2][2])),
+                      f.mul(m[0][0], f.mul(m[1][2], m[2][1]))),
+                f.sub(f.mul(m[0][2], f.mul(m[1][0], m[2][1])),
+                      f.mul(m[0][2], f.mul(m[1][1], m[2][0]))),
+            ),
+            f.sub(f.mul(m[0][1], f.mul(m[1][0], m[2][2])),
+                  f.mul(m[0][1], f.mul(m[1][2], m[2][0]))),
+        )
+        assert det != 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            PoseidonParams(FR, t=1)
+
+    def test_odd_full_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            PoseidonParams(FR, full_rounds=7)
+
+
+class TestNativePermutation:
+    def test_deterministic(self, params):
+        assert poseidon_permutation_native(params, [1, 2, 3]) == \
+            poseidon_permutation_native(params, [1, 2, 3])
+
+    def test_input_sensitivity(self, params):
+        a = poseidon_permutation_native(params, [1, 2, 3])
+        b = poseidon_permutation_native(params, [1, 2, 4])
+        assert a != b
+
+    def test_wrong_width_rejected(self, params):
+        with pytest.raises(ValueError):
+            poseidon_permutation_native(params, [1, 2])
+
+    def test_avalanche(self, params):
+        # Single-bit input change flips the whole state.
+        a = poseidon_permutation_native(params, [0, 0, 1])
+        b = poseidon_permutation_native(params, [0, 0, 2])
+        assert all(x != y for x, y in zip(a, b))
+
+
+class TestCircuitAgreement:
+    def test_permutation_matches_native(self, params):
+        b = CircuitBuilder("p", FR)
+        sigs = [b.private_input(f"s{i}") for i in range(3)]
+        outs = poseidon_permutation(b, sigs, params)
+        for i, o in enumerate(outs):
+            b.output(o, f"o{i}")
+        circ = compile_circuit(b)
+        inputs = {"s0": 11, "s1": 22, "s2": 33}
+        w = generate_witness(circ, inputs)
+        assert circ.r1cs.is_satisfied(w)
+        expected = poseidon_permutation_native(params, [11, 22, 33])
+        for i in range(3):
+            assert w[circ.output_wires[f"o{i}"]] == expected[i]
+
+    def test_hash_matches_native(self, params):
+        b = CircuitBuilder("h", FR)
+        sigs = [b.private_input(f"m{i}") for i in range(4)]
+        b.output(poseidon_hash(b, sigs, params), "digest")
+        circ = compile_circuit(b)
+        msgs = {f"m{i}": 1000 + i for i in range(4)}
+        w = generate_witness(circ, msgs)
+        assert circ.r1cs.is_satisfied(w)
+        expected = poseidon_hash_native(FR, [1000, 1001, 1002, 1003], params)
+        assert w[circ.output_wires["digest"]] == expected
+
+    def test_constraint_cost(self, params):
+        # Each S-box is 2 gates: full rounds t per round, partial rounds 1.
+        b = CircuitBuilder("c", FR)
+        sigs = [b.private_input(f"s{i}") for i in range(3)]
+        poseidon_permutation(b, sigs, params)
+        sboxes = params.full_rounds * params.t + params.partial_rounds
+        assert len(b.constraints) == 3 * sboxes  # x^5 = 3 muls
+
+    def test_preimage_proof_end_to_end(self, params):
+        b = CircuitBuilder("pre", FR)
+        m = b.private_input("m")
+        b.output(poseidon_hash(b, [m], params), "digest")
+        circ = compile_circuit(b)
+        rng = random.Random(6)
+        pk, vk = setup(BN128, circ, rng)
+        w = generate_witness(circ, {"m": 0x5EC12E7})
+        proof = prove(pk, circ, w, rng)
+        assert verify(vk, proof, public_inputs(circ, w))
+        wrong = [(public_inputs(circ, w)[0] + 1) % FR.modulus]
+        assert not verify(vk, proof, wrong)
+
+    def test_empty_message_hashes(self, params):
+        assert poseidon_hash_native(FR, [], params) == \
+            poseidon_hash_native(FR, [], params)
+
+    def test_sponge_absorbs_beyond_rate(self, params):
+        # 5 inputs > rate 2: multiple absorb rounds must all matter.
+        base = [7, 8, 9, 10, 11]
+        h1 = poseidon_hash_native(FR, base, params)
+        tweaked = base[:4] + [12]
+        assert h1 != poseidon_hash_native(FR, tweaked, params)

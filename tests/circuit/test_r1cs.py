@@ -1,0 +1,89 @@
+"""R1CS container tests: layout validation and satisfaction checking."""
+
+import pytest
+
+from repro.circuit.r1cs import R1CS, Constraint
+from repro.fields import BN254_FR
+
+FR = BN254_FR
+
+
+def fig2_r1cs():
+    """The paper's Fig. 2 example: y = x^3 as three constraints.
+
+    Wires: 0=const, 1=x, 2=w0, 3=w1, 4=y.
+    """
+    constraints = [
+        Constraint(a={1: 1}, b={0: 1}, c={2: 1}),  # w0 = x * 1
+        Constraint(a={1: 1}, b={2: 1}, c={3: 1}),  # w1 = x * w0
+        Constraint(a={1: 1}, b={3: 1}, c={4: 1}),  # y  = x * w1
+    ]
+    return R1CS(FR, 5, [0, 4], constraints, labels={1: "x", 4: "y"})
+
+
+def witness_for(x):
+    # w0 = x*1 = x, w1 = x*w0 = x^2, y = x*w1 = x^3.
+    return [1, x, x, x * x % FR.modulus, pow(x, 3, FR.modulus)]
+
+
+class TestValidation:
+    def test_public_wires_must_start_with_zero(self):
+        with pytest.raises(ValueError, match="constant wire 0"):
+            R1CS(FR, 3, [1], [])
+
+    def test_duplicate_public_wires(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            R1CS(FR, 3, [0, 1, 1], [])
+
+    def test_public_wire_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            R1CS(FR, 3, [0, 5], [])
+
+    def test_stats(self):
+        r = fig2_r1cs()
+        s = r.stats()
+        assert s == {"n_wires": 5, "n_public": 2, "n_constraints": 3, "nonzeros": 9}
+
+    def test_private_wires(self):
+        assert fig2_r1cs().private_wires() == [1, 2, 3]
+
+    def test_repr(self):
+        assert "constraints=3" in repr(fig2_r1cs())
+
+
+class TestSatisfaction:
+    def test_fig2_satisfied(self):
+        r = fig2_r1cs()
+        assert r.is_satisfied(witness_for(7))
+
+    def test_wrong_intermediate_rejected(self):
+        r = fig2_r1cs()
+        w = witness_for(7)
+        w[2] = 50  # not 49
+        assert r.check(w) == 0
+
+    def test_wrong_output_rejected(self):
+        r = fig2_r1cs()
+        w = witness_for(7)
+        w[4] = (w[4] + 1) % FR.modulus
+        assert r.check(w) == 2
+
+    def test_constant_wire_must_be_one(self):
+        r = fig2_r1cs()
+        w = witness_for(7)
+        w[0] = 2
+        assert r.check(w) == -1
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            fig2_r1cs().is_satisfied([1, 2, 3])
+
+    def test_eval_lc(self):
+        r = fig2_r1cs()
+        # wires: 1 -> x == 5, 3 -> x^2 == 25.
+        assert r.eval_lc({1: 2, 3: 3}, witness_for(5)) == (2 * 5 + 3 * 25) % FR.modulus
+        assert r.eval_lc({}, witness_for(5)) == 0
+
+    def test_constraint_wires(self):
+        c = Constraint(a={1: 1, 2: 5}, b={0: 1}, c={3: 1})
+        assert c.wires() == {0, 1, 2, 3}

@@ -1,0 +1,102 @@
+"""RNS/CRT decomposition tests (Key Takeaway 3's representation)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields import BLS12_381_FQ, BN254_FQ, BN254_FR
+from repro.fields.crt import RNSContext, is_prime_u64
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        for p in (2, 3, 61, 2**61 - 1, 4611686018427387847):
+            assert is_prime_u64(p), p
+
+    def test_known_composites(self):
+        for n in (0, 1, 4, 2**61, 2**61 - 3, 3215031751):
+            assert not is_prime_u64(n), n
+
+    def test_carmichael_numbers_rejected(self):
+        for n in (561, 41041, 825265):
+            assert not is_prime_u64(n)
+
+
+@pytest.fixture(scope="module", params=[BN254_FR, BN254_FQ, BLS12_381_FQ],
+                ids=lambda f: f.name)
+def ctx(request):
+    return RNSContext(request.param)
+
+
+class TestContext:
+    def test_moduli_pairwise_coprime_primes(self, ctx):
+        assert all(is_prime_u64(m) for m in ctx.moduli)
+        assert len(set(ctx.moduli)) == len(ctx.moduli)
+
+    def test_dynamic_range_covers_products(self, ctx):
+        p = ctx.field.modulus
+        assert ctx.M > p * p
+
+    def test_lane_count_reasonable(self, ctx):
+        # ~2x the limb count: 9 lanes for 254-bit, 13 for 381-bit.
+        assert ctx.field.limbs * 2 <= ctx.lanes <= ctx.field.limbs * 2 + 2
+
+
+class TestConversion:
+    def test_roundtrip(self, ctx):
+        r = random.Random(1)
+        for _ in range(10):
+            x = ctx.field.rand(r)
+            assert ctx.from_rns(ctx.to_rns(x)) == x
+
+    def test_roundtrip_of_product_range(self, ctx):
+        p = ctx.field.modulus
+        big = (p - 1) * (p - 1)
+        assert ctx.from_rns(ctx.to_rns(big)) == big
+
+    def test_negative_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.to_rns(-1)
+
+    def test_wrong_width_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.from_rns((1, 2, 3))
+
+
+class TestArithmetic:
+    def test_lane_mul_exact(self, ctx):
+        r = random.Random(2)
+        x, y = ctx.field.rand(r), ctx.field.rand(r)
+        prod = ctx.mul(ctx.to_rns(x), ctx.to_rns(y))
+        assert ctx.from_rns(prod) == x * y
+
+    def test_lane_add_exact(self, ctx):
+        r = random.Random(3)
+        x, y = ctx.field.rand(r), ctx.field.rand(r)
+        s = ctx.add(ctx.to_rns(x), ctx.to_rns(y))
+        assert ctx.from_rns(s) == x + y
+
+    def test_field_mul_matches_direct(self, ctx):
+        r = random.Random(4)
+        for _ in range(10):
+            x, y = ctx.field.rand(r), ctx.field.rand(r)
+            assert ctx.field_mul(x, y) == ctx.field.mul(x, y)
+
+    def test_cost_summary_shows_parallelism(self, ctx):
+        cost = ctx.cost_summary()
+        # The takeaway: critical path collapses from limbs^2 to 1.
+        assert cost["rns_critical_path_muls"] == 1
+        assert cost["direct_critical_path_muls"] >= 16
+        assert cost["rns_word_muls"] < cost["direct_word_muls"] * 2
+
+
+@given(x=st.integers(min_value=0, max_value=BN254_FR.modulus - 1),
+       y=st.integers(min_value=0, max_value=BN254_FR.modulus - 1))
+@settings(max_examples=30, deadline=None)
+def test_field_mul_property(x, y):
+    ctx = _SHARED
+    assert ctx.field_mul(x, y) == BN254_FR.mul(x, y)
+
+
+_SHARED = RNSContext(BN254_FR)

@@ -1,0 +1,247 @@
+"""Tests for the Fp2/Fp6/Fp12 tower (both curve parameter sets)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields import BLS12_381_TOWER, BN254_TOWER
+
+TOWERS = [("bn254", BN254_TOWER), ("bls12_381", BLS12_381_TOWER)]
+
+
+@pytest.fixture(params=TOWERS, ids=lambda t: t[0])
+def tower(request):
+    return request.param[1]
+
+
+def rand_fp2(tower, r):
+    return tower.fp2(r.randrange(tower.fq.modulus), r.randrange(tower.fq.modulus))
+
+
+def rand_fp6(tower, r):
+    from repro.fields.extensions import Fp6
+
+    p = tower.fq.modulus
+    return Fp6(tower, *[(r.randrange(p), r.randrange(p)) for _ in range(3)])
+
+
+def rand_fp12(tower, r):
+    from repro.fields.extensions import Fp12
+
+    p = tower.fq.modulus
+    c0 = tuple((r.randrange(p), r.randrange(p)) for _ in range(3))
+    c1 = tuple((r.randrange(p), r.randrange(p)) for _ in range(3))
+    return Fp12(tower, c0, c1)
+
+
+class TestFp2:
+    def test_u_squared_is_beta(self, tower):
+        u = tower.fp2(0, 1)
+        assert (u * u).c == (tower.beta, 0)
+
+    def test_field_axioms_random(self, tower):
+        r = random.Random(1)
+        a, b, c = (rand_fp2(tower, r) for _ in range(3))
+        assert a + b == b + a
+        assert a * b == b * a
+        assert (a + b) * c == a * c + b * c
+        assert a - a == tower.fp2_zero()
+
+    def test_inverse(self, tower):
+        r = random.Random(2)
+        a = rand_fp2(tower, r)
+        assert a * a.inverse() == tower.fp2_one()
+
+    def test_inverse_of_zero_raises(self, tower):
+        with pytest.raises(ZeroDivisionError):
+            tower.fp2_zero().inverse()
+
+    def test_division(self, tower):
+        r = random.Random(3)
+        a, b = rand_fp2(tower, r), rand_fp2(tower, r)
+        assert (a / b) * b == a
+
+    def test_conjugate_is_frobenius(self, tower):
+        r = random.Random(4)
+        a = rand_fp2(tower, r)
+        assert a.conjugate() == a ** tower.fq.modulus
+
+    def test_pow_matches_repeated_mul(self, tower):
+        r = random.Random(5)
+        a = rand_fp2(tower, r)
+        assert a ** 5 == a * a * a * a * a
+        assert a ** 0 == tower.fp2_one()
+
+    def test_negative_pow(self, tower):
+        r = random.Random(6)
+        a = rand_fp2(tower, r)
+        assert (a ** -3) * (a ** 3) == tower.fp2_one()
+
+    def test_scalar_mul(self, tower):
+        r = random.Random(7)
+        a = rand_fp2(tower, r)
+        assert a * 3 == a + a + a
+
+    def test_square_matches_mul(self, tower):
+        r = random.Random(8)
+        a = rand_fp2(tower, r)
+        assert a.square() == a * a
+
+    def test_norm_multiplicativity(self, tower):
+        # N(ab) = N(a) N(b) with N(a) = a0^2 - beta a1^2.
+        fq = tower.fq
+        r = random.Random(9)
+        a, b = rand_fp2(tower, r), rand_fp2(tower, r)
+
+        def norm(x):
+            return fq.sub(fq.sqr(x.c[0]), fq.mul(tower.beta, fq.sqr(x.c[1])))
+
+        assert norm(a * b) == fq.mul(norm(a), norm(b))
+
+
+class TestFp6:
+    def test_v_cubed_is_xi(self, tower):
+        from repro.fields.extensions import Fp6
+
+        z = (0, 0)
+        v = Fp6(tower, z, (1, 0), z)
+        assert (v * v * v).a == (tower.xi, z, z)
+
+    def test_mul_by_v_matches_explicit(self, tower):
+        from repro.fields.extensions import Fp6
+
+        r = random.Random(10)
+        a = rand_fp6(tower, r)
+        z = (0, 0)
+        v = Fp6(tower, z, (1, 0), z)
+        assert a.mul_by_v() == a * v
+
+    def test_inverse(self, tower):
+        r = random.Random(11)
+        a = rand_fp6(tower, r)
+        assert a * a.inverse() == tower.fp6_one()
+
+    def test_distributivity(self, tower):
+        r = random.Random(12)
+        a, b, c = (rand_fp6(tower, r) for _ in range(3))
+        assert (a + b) * c == a * c + b * c
+
+    def test_frobenius_matches_pow(self, tower):
+        r = random.Random(13)
+        a = rand_fp6(tower, r)
+        p = tower.fq.modulus
+        # a^p via repeated squaring on Fp6 is slow but feasible once.
+        expected = _slow_pow_fp6(tower, a, p)
+        assert a.frobenius() == expected
+
+    def test_square(self, tower):
+        r = random.Random(14)
+        a = rand_fp6(tower, r)
+        assert a.square() == a * a
+
+
+def _slow_pow_fp6(tower, a, e):
+    acc = tower.fp6_one()
+    base = a
+    while e:
+        if e & 1:
+            acc = acc * base
+        base = base * base
+        e >>= 1
+    return acc
+
+
+class TestFp12:
+    def test_w_squared_is_v(self, tower):
+        from repro.fields.extensions import Fp12
+
+        z = (0, 0)
+        w = Fp12(tower, (z, z, z), ((1, 0), z, z))
+        w2 = w * w
+        assert w2.c0 == (z, (1, 0), z)
+        assert w2.c1 == (z, z, z)
+
+    def test_w_pow_12_in_base_field(self, tower):
+        from repro.fields.extensions import Fp12
+
+        z = (0, 0)
+        w = Fp12(tower, (z, z, z), ((1, 0), z, z))
+        w6 = w ** 6
+        assert w6.c0 == (tower.xi, z, z)  # w^6 == xi
+        w12 = w ** 12
+        xi_sq = tower.f2_sqr(tower.xi)
+        assert w12.c0 == (xi_sq, z, z)
+
+    def test_inverse(self, tower):
+        r = random.Random(15)
+        f = rand_fp12(tower, r)
+        assert f * f.inverse() == tower.fp12_one()
+
+    def test_square_matches_mul(self, tower):
+        r = random.Random(16)
+        f = rand_fp12(tower, r)
+        assert f.square() == f * f
+
+    def test_conjugate_is_p6_frobenius(self, tower):
+        r = random.Random(17)
+        f = rand_fp12(tower, r)
+        g = f
+        for _ in range(6):
+            g = g.frobenius()
+        assert g == f.conjugate()
+
+    def test_frobenius_order_twelve(self, tower):
+        r = random.Random(18)
+        f = rand_fp12(tower, r)
+        g = f
+        for _ in range(12):
+            g = g.frobenius()
+        assert g == f
+
+    def test_frobenius_is_multiplicative(self, tower):
+        r = random.Random(19)
+        a, b = rand_fp12(tower, r), rand_fp12(tower, r)
+        assert (a * b).frobenius() == a.frobenius() * b.frobenius()
+
+    def test_pow_small(self, tower):
+        r = random.Random(20)
+        f = rand_fp12(tower, r)
+        assert f ** 0 == tower.fp12_one()
+        assert f ** 1 == f
+        assert f ** 7 == f * f * f * f * f * f * f
+
+    def test_negative_pow(self, tower):
+        r = random.Random(21)
+        f = rand_fp12(tower, r)
+        assert (f ** -2) * (f ** 2) == tower.fp12_one()
+
+    def test_is_one(self, tower):
+        assert tower.fp12_one().is_one()
+        assert not tower.fp12_zero().is_one()
+
+    def test_from_fp6_roundtrip(self, tower):
+        from repro.fields.extensions import Fp12
+
+        r = random.Random(22)
+        lo, hi = rand_fp6(tower, r), rand_fp6(tower, r)
+        f = Fp12.from_fp6(lo, hi)
+        assert f._lo() == lo and f._hi() == hi
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_fp12_distributivity_property(seed):
+    tower = BN254_TOWER
+    r = random.Random(seed)
+    a, b, c = (rand_fp12(tower, r) for _ in range(3))
+    assert (a + b) * c == a * c + b * c
+
+
+def test_tower_requires_p_1_mod_6():
+    from repro.fields.extensions import TowerParams
+    from repro.fields.prime_field import PrimeField
+
+    f = PrimeField(11, "f11")  # 11 - 1 = 10, not divisible by 6
+    with pytest.raises(ValueError):
+        TowerParams(f, beta=-1, xi=(1, 1))

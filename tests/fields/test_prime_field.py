@@ -1,0 +1,242 @@
+"""Unit and property tests for the prime-field arithmetic contexts."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields import BN254_FR, BLS12_381_FR, BN254_FQ, BLS12_381_FQ, PrimeField
+
+FIELDS = [BN254_FR, BLS12_381_FR, BN254_FQ, BLS12_381_FQ]
+
+
+def elements(field):
+    return st.integers(min_value=0, max_value=field.modulus - 1)
+
+
+def nonzero(field):
+    return st.integers(min_value=1, max_value=field.modulus - 1)
+
+
+@pytest.fixture(params=FIELDS, ids=lambda f: f.name)
+def field(request):
+    return request.param
+
+
+class TestConstruction:
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ValueError):
+            PrimeField(10, "even")
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            PrimeField(1, "one")
+
+    def test_limb_counts(self):
+        assert BN254_FR.limbs == 4
+        assert BN254_FQ.limbs == 4
+        assert BLS12_381_FR.limbs == 4
+        assert BLS12_381_FQ.limbs == 6
+
+    def test_bits(self):
+        assert BN254_FQ.bits == 254
+        assert BLS12_381_FQ.bits == 381
+        assert BLS12_381_FR.bits == 255
+
+    def test_equality_is_by_modulus(self):
+        clone = PrimeField(BN254_FR.modulus, "clone")
+        assert clone == BN254_FR
+        assert hash(clone) == hash(BN254_FR)
+        assert BN254_FR != BLS12_381_FR
+
+    def test_repr_mentions_name(self, field):
+        assert field.name in repr(field)
+
+
+class TestRawArithmetic:
+    def test_add_wraps(self, field):
+        p = field.modulus
+        assert field.add(p - 1, 1) == 0
+        assert field.add(p - 1, 2) == 1
+
+    def test_sub_wraps(self, field):
+        assert field.sub(0, 1) == field.modulus - 1
+
+    def test_neg(self, field):
+        assert field.neg(0) == 0
+        assert field.neg(5) == field.modulus - 5
+
+    def test_mul_and_sqr_agree(self, field):
+        r = random.Random(7)
+        for _ in range(20):
+            a = field.rand(r)
+            assert field.sqr(a) == field.mul(a, a)
+
+    def test_inv_of_zero_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.inv(0)
+
+    def test_div(self, field):
+        r = random.Random(8)
+        a, b = field.rand(r), field.rand_nonzero(r)
+        assert field.mul(field.div(a, b), b) == a
+
+    def test_pow_zero_exponent(self, field):
+        assert field.pow(5, 0) == 1
+
+    def test_pow_negative_exponent(self, field):
+        r = random.Random(9)
+        a = field.rand_nonzero(r)
+        assert field.mul(field.pow(a, -1), a) == 1
+        assert field.pow(a, -2) == field.pow(field.inv(a), 2)
+
+    def test_fermat_little_theorem(self, field):
+        r = random.Random(10)
+        a = field.rand_nonzero(r)
+        assert field.pow(a, field.modulus - 1) == 1
+
+    def test_reduce(self, field):
+        assert field.reduce(field.modulus + 3) == 3
+        assert field.reduce(-1) == field.modulus - 1
+
+
+@given(a=elements(BN254_FR), b=elements(BN254_FR), c=elements(BN254_FR))
+@settings(max_examples=50)
+def test_ring_axioms(a, b, c):
+    f = BN254_FR
+    assert f.add(a, b) == f.add(b, a)
+    assert f.mul(a, b) == f.mul(b, a)
+    assert f.add(f.add(a, b), c) == f.add(a, f.add(b, c))
+    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+
+@given(a=nonzero(BLS12_381_FQ))
+@settings(max_examples=30)
+def test_inverse_roundtrip(a):
+    f = BLS12_381_FQ
+    assert f.mul(a, f.inv(a)) == 1
+
+
+@given(a=elements(BN254_FR), b=elements(BN254_FR))
+@settings(max_examples=50)
+def test_sub_is_add_of_negation(a, b):
+    f = BN254_FR
+    assert f.sub(a, b) == f.add(a, f.neg(b))
+
+
+class TestBatchInverse:
+    def test_empty(self, field):
+        assert field.batch_inv([]) == []
+
+    def test_matches_scalar_inverse(self, field):
+        r = random.Random(11)
+        xs = [field.rand_nonzero(r) for _ in range(17)]
+        assert field.batch_inv(xs) == [field.inv(x) for x in xs]
+
+    def test_zero_raises_with_index(self, field):
+        with pytest.raises(ZeroDivisionError, match="index 2"):
+            field.batch_inv([1, 2, 0, 3])
+
+    def test_single_element(self, field):
+        assert field.batch_inv([2]) == [field.inv(2)]
+
+
+class TestSqrt:
+    def test_sqrt_of_zero(self, field):
+        assert field.sqrt(0) == 0
+
+    def test_sqrt_of_square(self, field):
+        r = random.Random(12)
+        for _ in range(10):
+            a = field.rand(r)
+            sq = field.sqr(a)
+            root = field.sqrt(sq)
+            assert root is not None
+            assert field.sqr(root) == sq
+
+    def test_nonresidue_returns_none(self, field):
+        r = random.Random(13)
+        found = 0
+        for _ in range(40):
+            a = field.rand_nonzero(r)
+            if field.legendre(a) == -1:
+                assert field.sqrt(a) is None
+                found += 1
+        assert found > 0  # about half should be non-residues
+
+    def test_legendre_of_square_is_one(self, field):
+        r = random.Random(14)
+        a = field.rand_nonzero(r)
+        assert field.legendre(field.sqr(a)) == 1
+
+    def test_legendre_of_zero(self, field):
+        assert field.legendre(0) == 0
+
+    def test_general_tonelli_shanks_path(self):
+        # 257 = 1 (mod 4): exercises the non-fast-path branch.
+        f = PrimeField(257, "f257")
+        for a in range(1, 257):
+            sq = f.sqr(a)
+            root = f.sqrt(sq)
+            assert root is not None and f.sqr(root) == sq
+
+
+class TestEncoding:
+    def test_roundtrip(self, field):
+        r = random.Random(15)
+        a = field.rand(r)
+        assert field.from_bytes(field.to_bytes(a)) == a
+
+    def test_fixed_width(self, field):
+        assert len(field.to_bytes(0)) == field.nbytes
+        assert len(field.to_bytes(field.modulus - 1)) == field.nbytes
+
+    def test_rejects_unreduced(self, field):
+        raw = int(field.modulus).to_bytes(field.nbytes, "little")
+        with pytest.raises(ValueError):
+            field.from_bytes(raw)
+
+
+class TestWrappedElements:
+    def test_operator_arithmetic(self, field):
+        a, b = field.element(10), field.element(3)
+        assert int(a + b) == 13
+        assert int(a - b) == 7
+        assert int(a * b) == 30
+        assert int(-b) == field.modulus - 3
+        assert (a / b) * b == a
+        assert int(b ** 2) == 9
+
+    def test_mixed_int_arithmetic(self, field):
+        a = field.element(10)
+        assert int(a + 5) == 15
+        assert int(5 + a) == 15
+        assert int(a - 1) == 9
+        assert int(21 - a) == 11
+        assert int(a * 2) == 20
+        assert (2 / a) * a == field.element(2)
+
+    def test_equality_with_ints(self, field):
+        assert field.element(7) == 7
+        assert field.element(7) == 7 + field.modulus
+
+    def test_cross_field_mixing_raises(self):
+        a = BN254_FR.element(1)
+        b = BLS12_381_FR.element(1)
+        with pytest.raises(TypeError):
+            _ = a + b
+
+    def test_bool_and_hash(self, field):
+        assert not field.zero()
+        assert field.one()
+        assert hash(field.element(5)) == hash(field.element(5))
+
+    def test_inverse_and_sqrt_methods(self, field):
+        a = field.element(9)
+        assert a.inverse() * a == field.one()
+        root = a.sqrt()
+        assert root is not None and root * root == a
+
+    def test_element_reduces_input(self, field):
+        assert int(field.element(field.modulus + 2)) == 2

@@ -1,0 +1,140 @@
+"""Integration tests: the full five-stage protocol on both curves.
+
+Covers the three ZKP properties from Section II-A: completeness (honest
+proofs verify), soundness (tampered proofs/statements fail), and a
+zero-knowledge smoke check (proofs are randomized).
+"""
+
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, compile_circuit, gadgets
+from repro.groth16 import generate_witness, prove, public_inputs, setup, verify
+from tests.conftest import make_pow_circuit
+
+
+@pytest.fixture(scope="module", params=["bn128", "bls12_381"])
+def session(request):
+    """One setup/witness/proof per curve, shared across this module."""
+    from repro.curves import get_curve
+
+    curve = get_curve(request.param)
+    circ, inputs = make_pow_circuit(curve, 8)
+    rng = random.Random(1)
+    pk, vk = setup(curve, circ, rng)
+    witness = generate_witness(circ, inputs)
+    proof = prove(pk, circ, witness, rng)
+    return curve, circ, pk, vk, witness, proof
+
+
+class TestCompleteness:
+    def test_honest_proof_verifies(self, session):
+        _, circ, _, vk, witness, proof = session
+        assert verify(vk, proof, public_inputs(circ, witness))
+
+    def test_public_output_value(self, session):
+        curve, circ, _, _, witness, _ = session
+        assert public_inputs(circ, witness) == [pow(3, 8, curve.fr.modulus)]
+
+    def test_fresh_proof_same_witness_verifies(self, session):
+        _, circ, pk, vk, witness, _ = session
+        proof2 = prove(pk, circ, witness, random.Random(999))
+        assert verify(vk, proof2, public_inputs(circ, witness))
+
+    def test_different_private_input_same_statement(self, session):
+        # x and -x give the same x^8: both witnesses prove the same output.
+        curve, circ, pk, vk, _, _ = session
+        w2 = generate_witness(circ, {"x": curve.fr.modulus - 3})
+        proof = prove(pk, circ, w2, random.Random(5))
+        assert verify(vk, proof, public_inputs(circ, w2))
+        assert public_inputs(circ, w2) == [pow(3, 8, curve.fr.modulus)]
+
+
+class TestSoundness:
+    def test_wrong_public_input_rejected(self, session):
+        curve, circ, _, vk, witness, proof = session
+        wrong = [(public_inputs(circ, witness)[0] + 1) % curve.fr.modulus]
+        assert not verify(vk, proof, wrong)
+
+    def test_tampered_proof_a_rejected(self, session):
+        curve, circ, _, vk, witness, proof = session
+        from repro.groth16.keys import Proof
+
+        bad = Proof(curve=curve, a=proof.a + curve.g1.generator, b=proof.b, c=proof.c)
+        assert not verify(vk, bad, public_inputs(circ, witness))
+
+    def test_tampered_proof_b_rejected(self, session):
+        curve, circ, _, vk, witness, proof = session
+        from repro.groth16.keys import Proof
+
+        bad = Proof(curve=curve, a=proof.a, b=proof.b + curve.g2.generator, c=proof.c)
+        assert not verify(vk, bad, public_inputs(circ, witness))
+
+    def test_tampered_proof_c_rejected(self, session):
+        curve, circ, _, vk, witness, proof = session
+        from repro.groth16.keys import Proof
+
+        bad = Proof(curve=curve, a=proof.a, b=proof.b, c=-proof.c)
+        assert not verify(vk, bad, public_inputs(circ, witness))
+
+    def test_proof_not_transferable_across_setups(self, session):
+        # A proof under one CRS must not verify under an independent CRS.
+        curve, circ, _, _, witness, proof = session
+        _, vk2 = setup(curve, circ, random.Random(777))
+        assert not verify(vk2, proof, public_inputs(circ, witness))
+
+    def test_wrong_arity_raises(self, session):
+        _, circ, _, vk, witness, proof = session
+        with pytest.raises(ValueError):
+            verify(vk, proof, [])
+
+
+class TestZeroKnowledgeSmoke:
+    def test_proofs_are_randomized(self, session):
+        # Same witness, different prover randomness -> different proof points.
+        _, circ, pk, _, witness, proof = session
+        proof2 = prove(pk, circ, witness, random.Random(31337))
+        assert proof2.a != proof.a
+        assert proof2.c != proof.c
+
+    def test_proof_size_constant(self, session):
+        # Succinctness: proof size must not depend on the circuit.
+        curve, _, _, _, _, proof = session
+        big_circ, big_inputs = make_pow_circuit(curve, 32)
+        rng = random.Random(2)
+        pk, vk = setup(curve, big_circ, rng)
+        w = generate_witness(big_circ, big_inputs)
+        big_proof = prove(pk, big_circ, w, rng)
+        assert big_proof.size_bytes() == proof.size_bytes()
+        assert verify(vk, big_proof, public_inputs(big_circ, w))
+
+
+class TestOtherCircuits:
+    @pytest.mark.parametrize("builder_name", ["hash_preimage", "range_proof", "dot_product"])
+    def test_domain_circuits_prove_and_verify(self, session, builder_name):
+        from repro.harness import circuits as hc
+
+        curve = session[0]
+        build = {
+            "hash_preimage": lambda: hc.build_hash_preimage(curve, chain_length=2),
+            "range_proof": lambda: hc.build_range_proof(curve, n_bits=8, value=37, bound=100),
+            "dot_product": lambda: hc.build_dot_product(curve, length=3),
+        }[builder_name]
+        builder, inputs = build()
+        circ = compile_circuit(builder)
+        rng = random.Random(3)
+        pk, vk = setup(curve, circ, rng)
+        w = generate_witness(circ, inputs)
+        assert circ.r1cs.is_satisfied(w)
+        proof = prove(pk, circ, w, rng)
+        assert verify(vk, proof, public_inputs(circ, w))
+
+    def test_range_proof_out_of_range_unsatisfiable(self, session):
+        from repro.harness import circuits as hc
+
+        curve = session[0]
+        builder, inputs = hc.build_range_proof(curve, n_bits=8, value=200, bound=100)
+        circ = compile_circuit(builder)
+        w = generate_witness(circ, inputs)
+        assert not circ.r1cs.is_satisfied(w)

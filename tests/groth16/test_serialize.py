@@ -1,0 +1,113 @@
+"""Serialization round-trips and corruption handling."""
+
+import random
+
+import pytest
+
+from repro.curves import BLS12_381, BN128
+from repro.groth16 import generate_witness, prove, public_inputs, setup, verify
+from repro.groth16.serialize import (
+    pk_from_bytes,
+    pk_to_bytes,
+    proof_from_bytes,
+    proof_to_bytes,
+    vk_from_bytes,
+    vk_to_bytes,
+)
+from tests.conftest import make_pow_circuit
+
+
+@pytest.fixture(scope="module", params=["bn128", "bls12_381"])
+def session(request):
+    curve = BN128 if request.param == "bn128" else BLS12_381
+    circ, inputs = make_pow_circuit(curve, 4)
+    rng = random.Random(21)
+    pk, vk = setup(curve, circ, rng)
+    witness = generate_witness(circ, inputs)
+    proof = prove(pk, circ, witness, rng)
+    return curve, circ, pk, vk, witness, proof
+
+
+class TestProof:
+    def test_roundtrip(self, session):
+        _, circ, _, vk, witness, proof = session
+        blob = proof_to_bytes(proof)
+        back = proof_from_bytes(blob)
+        assert back.a == proof.a and back.b == proof.b and back.c == proof.c
+        assert verify(vk, back, public_inputs(circ, witness))
+
+    def test_size_matches_model(self, session):
+        _, _, _, _, _, proof = session
+        # header = magic(4) + curve id(4); body matches size_bytes().
+        assert len(proof_to_bytes(proof)) == 8 + proof.size_bytes()
+
+    def test_bad_magic(self, session):
+        blob = bytearray(proof_to_bytes(session[5]))
+        blob[0] ^= 0xFF
+        with pytest.raises(ValueError, match="magic"):
+            proof_from_bytes(bytes(blob))
+
+    def test_corrupted_point_rejected(self, session):
+        blob = bytearray(proof_to_bytes(session[5]))
+        blob[12] ^= 0x01  # inside the A point
+        with pytest.raises(ValueError):
+            proof_from_bytes(bytes(blob))
+
+    def test_truncated_rejected(self, session):
+        blob = proof_to_bytes(session[5])
+        with pytest.raises(ValueError):
+            proof_from_bytes(blob[:-4])
+
+    def test_trailing_bytes_rejected(self, session):
+        blob = proof_to_bytes(session[5])
+        with pytest.raises(ValueError, match="trailing"):
+            proof_from_bytes(blob + b"\x00")
+
+
+class TestVerifyingKey:
+    def test_roundtrip_still_verifies(self, session):
+        _, circ, _, vk, witness, proof = session
+        back = vk_from_bytes(vk_to_bytes(vk))
+        assert back.public_wires == vk.public_wires
+        assert verify(back, proof, public_inputs(circ, witness))
+
+    def test_ic_wire_consistency_checked(self, session):
+        _, _, _, vk, _, _ = session
+        blob = bytearray(vk_to_bytes(vk))
+        # Shrink the trailing public-wire list length field by one.
+        # (Find it: last u32 count precedes the wire ids.)
+        import struct
+
+        n = len(vk.public_wires)
+        idx = len(blob) - 4 * n - 4
+        struct.pack_into("<I", blob, idx, n - 1)
+        with pytest.raises(ValueError):
+            vk_from_bytes(bytes(blob[: len(blob) - 4]))
+
+
+class TestProvingKey:
+    def test_roundtrip_proves(self, session):
+        curve, circ, pk, vk, witness, _ = session
+        back = pk_from_bytes(pk_to_bytes(pk))
+        assert back.domain_size == pk.domain_size
+        assert len(back.a_query) == len(pk.a_query)
+        assert sorted(back.l_query) == sorted(pk.l_query)
+        proof = prove(back, circ, witness, random.Random(9))
+        assert verify(vk, proof, public_inputs(circ, witness))
+
+    def test_cross_curve_confusion_rejected(self, session):
+        curve, _, pk, _, _, _ = session
+        blob = bytearray(pk_to_bytes(pk))
+        other_id = 2 if curve.name == "bn128" else 1
+        import struct
+
+        struct.pack_into("<I", blob, 4, other_id)
+        with pytest.raises(ValueError):
+            pk_from_bytes(bytes(blob))
+
+    def test_identity_points_survive(self, session):
+        # h_query can in principle contain the identity; force one in.
+        curve, circ, pk, _, _, _ = session
+        pk.h_query[0] = curve.g1.infinity()
+        back = pk_from_bytes(pk_to_bytes(pk))
+        assert back.h_query[0].is_infinity()

@@ -1,0 +1,49 @@
+"""Property test: serialized artifacts survive corruption loudly.
+
+Flipping any byte of an encoded proof must either raise ``ValueError`` or
+yield a proof that differs from the original — it must never silently
+decode back to the identical proof.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.curves import BN128
+from repro.groth16 import generate_witness, prove, setup
+from repro.groth16.serialize import proof_from_bytes, proof_to_bytes
+from tests.conftest import make_pow_circuit
+
+
+@pytest.fixture(scope="module")
+def blob():
+    circ, inputs = make_pow_circuit(BN128, 4)
+    rng = random.Random(51)
+    pk, _vk = setup(BN128, circ, rng)
+    witness = generate_witness(circ, inputs)
+    proof = prove(pk, circ, witness, rng)
+    return proof, proof_to_bytes(proof)
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_byte_flips_never_silently_accepted(blob, data):
+    proof, encoded = blob
+    pos = data.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+    bit = data.draw(st.integers(min_value=0, max_value=7))
+    corrupted = bytearray(encoded)
+    corrupted[pos] ^= 1 << bit
+    try:
+        back = proof_from_bytes(bytes(corrupted))
+    except ValueError:
+        return  # rejected loudly: good
+    # Decoded without error: it must not be the same proof.
+    assert (back.a, back.b, back.c) != (proof.a, proof.b, proof.c)
+
+
+@given(junk=st.binary(min_size=0, max_size=64))
+@settings(max_examples=25, deadline=None)
+def test_arbitrary_bytes_rejected(junk):
+    with pytest.raises(ValueError):
+        proof_from_bytes(junk)

@@ -1,0 +1,192 @@
+"""Per-stage unit tests: setup keys, witness generation, prover/verifier
+internals and their traced instrumentation."""
+
+import random
+
+import pytest
+
+from repro.curves import BN128
+from repro.groth16 import generate_witness, prove, public_inputs, setup, verify
+from repro.groth16.witness import WitnessError
+from repro.perf.trace import Tracer, tracing
+from repro.qap import qap_domain
+from tests.conftest import make_pow_circuit
+
+
+@pytest.fixture(scope="module")
+def bn_session():
+    circ, inputs = make_pow_circuit(BN128, 8)
+    rng = random.Random(11)
+    pk, vk = setup(BN128, circ, rng)
+    return circ, inputs, pk, vk
+
+
+class TestSetup:
+    def test_key_shapes(self, bn_session):
+        circ, _, pk, vk = bn_session
+        n_wires = circ.r1cs.n_wires
+        assert len(pk.a_query) == n_wires
+        assert len(pk.b1_query) == n_wires
+        assert len(pk.b2_query) == n_wires
+        assert len(pk.l_query) == n_wires - circ.r1cs.n_public
+        assert len(pk.h_query) == pk.domain_size - 1
+        assert len(vk.ic) == circ.r1cs.n_public
+
+    def test_domain_size_covers_constraints(self, bn_session):
+        circ, _, pk, _ = bn_session
+        assert pk.domain_size >= circ.n_constraints
+
+    def test_shared_points_consistent(self, bn_session):
+        _, _, pk, vk = bn_session
+        assert pk.alpha1 == vk.alpha1
+        assert pk.beta2 == vk.beta2
+        assert pk.delta2 == vk.delta2
+
+    def test_points_in_correct_groups(self, bn_session):
+        _, _, pk, vk = bn_session
+        assert pk.alpha1.group is BN128.g1
+        assert pk.beta2.group is BN128.g2
+        assert vk.gamma2.group is BN128.g2
+        assert all(p.group is BN128.g1 for p in pk.a_query)
+        assert all(p.group is BN128.g2 for p in pk.b2_query)
+
+    def test_deterministic_given_rng(self):
+        circ, _ = make_pow_circuit(BN128, 4)
+        pk1, _ = setup(BN128, circ, random.Random(5))
+        pk2, _ = setup(BN128, circ, random.Random(5))
+        assert pk1.alpha1 == pk2.alpha1
+        assert pk1.a_query[1] == pk2.a_query[1]
+
+    def test_distinct_rng_gives_distinct_keys(self):
+        circ, _ = make_pow_circuit(BN128, 4)
+        pk1, _ = setup(BN128, circ, random.Random(5))
+        pk2, _ = setup(BN128, circ, random.Random(6))
+        assert pk1.alpha1 != pk2.alpha1
+
+    def test_size_bytes_positive_and_ordered(self, bn_session):
+        _, _, pk, vk = bn_session
+        assert pk.size_bytes() > vk.size_bytes() > 0
+
+    def test_traced_setup_regions(self):
+        circ, _ = make_pow_circuit(BN128, 4)
+        tr = Tracer()
+        with tracing(tr):
+            setup(BN128, circ, random.Random(7))
+        regions = {r.name: r for r in tr.iter_regions()}
+        assert regions["setup_g1_commitments"].parallel
+        assert not regions["setup_g2_commitments"].parallel
+        assert not regions["setup_write_zkey"].parallel
+        assert regions["setup_g1_commitments"].load_scale > 1.0
+
+
+class TestWitness:
+    def test_witness_satisfies(self, bn_session):
+        circ, inputs, _, _ = bn_session
+        w = generate_witness(circ, inputs)
+        assert circ.r1cs.is_satisfied(w)
+        assert w[0] == 1
+
+    def test_missing_input(self, bn_session):
+        circ, _, _, _ = bn_session
+        with pytest.raises(WitnessError, match="missing"):
+            generate_witness(circ, {})
+
+    def test_unknown_input(self, bn_session):
+        circ, inputs, _, _ = bn_session
+        with pytest.raises(WitnessError, match="unknown"):
+            generate_witness(circ, {**inputs, "bogus": 1})
+
+    def test_inputs_reduced_mod_r(self, bn_session):
+        circ, _, _, _ = bn_session
+        w1 = generate_witness(circ, {"x": 3})
+        w2 = generate_witness(circ, {"x": 3 + BN128.fr.modulus})
+        assert w1 == w2
+
+    def test_public_inputs_excludes_constant(self, bn_session):
+        circ, inputs, _, _ = bn_session
+        w = generate_witness(circ, inputs)
+        pubs = public_inputs(circ, w)
+        assert len(pubs) == circ.r1cs.n_public - 1
+
+    def test_traced_witness_matches(self, bn_session):
+        circ, inputs, _, _ = bn_session
+        plain = generate_witness(circ, inputs)
+        with tracing(Tracer()):
+            traced = generate_witness(circ, inputs)
+        assert plain == traced
+
+    def test_traced_regions_and_fixed_cost(self, bn_session):
+        circ, inputs, _, _ = bn_session
+        tr = Tracer()
+        with tracing(tr):
+            generate_witness(circ, inputs)
+        regions = {r.name: r for r in tr.iter_regions()}
+        assert not regions["witness_wasm_load"].parallel
+        assert regions["witness_wasm_compile"].parallel
+        assert regions["witness_eval"].parallel
+        counts = tr.total_counts()
+        assert counts["wasm_dispatch"] == len(circ.program)
+        assert counts["wasm_validate"] > counts["wasm_dispatch"]  # fixed init dominates
+
+
+class TestProver:
+    def test_bad_witness_rejected(self, bn_session):
+        circ, inputs, pk, _ = bn_session
+        w = generate_witness(circ, inputs)
+        w[2] = (w[2] + 1) % BN128.fr.modulus
+        with pytest.raises(ValueError):
+            prove(pk, circ, w, random.Random(1))
+
+    def test_traced_prove_verifies(self, bn_session):
+        circ, inputs, pk, vk = bn_session
+        w = generate_witness(circ, inputs)
+        tr = Tracer()
+        with tracing(tr):
+            proof = prove(pk, circ, w, random.Random(2))
+        assert verify(vk, proof, public_inputs(circ, w))
+        regions = {r.name for r in tr.iter_regions()}
+        assert {"prove_load_zkey", "prove_msm", "prove_assemble"} <= regions
+
+    def test_proof_points_normalized(self, bn_session):
+        circ, inputs, pk, _ = bn_session
+        w = generate_witness(circ, inputs)
+        proof = prove(pk, circ, w, random.Random(3))
+        assert proof.a.Z == 1
+        assert proof.c.Z == 1
+
+    def test_proof_size_formula(self, bn_session):
+        circ, inputs, pk, _ = bn_session
+        w = generate_witness(circ, inputs)
+        proof = prove(pk, circ, w, random.Random(4))
+        # 2 G1 (64 B each) + 1 G2 (128 B) uncompressed on BN254.
+        assert proof.size_bytes() == 2 * 64 + 128
+
+
+class TestVerifier:
+    def test_traced_verify_matches(self, bn_session):
+        circ, inputs, pk, vk = bn_session
+        w = generate_witness(circ, inputs)
+        proof = prove(pk, circ, w, random.Random(5))
+        plain = verify(vk, proof, public_inputs(circ, w))
+        tr = Tracer()
+        with tracing(tr):
+            traced = verify(vk, proof, public_inputs(circ, w))
+        assert plain is True and traced is True
+        regions = {r.name: r for r in tr.iter_regions()}
+        assert regions["verify_miller_loops"].parallel
+        assert not regions["verify_final_exp"].parallel
+
+    def test_traced_work_constant_in_circuit_size(self):
+        sizes = {}
+        for e in (4, 16):
+            circ, inputs = make_pow_circuit(BN128, e)
+            rng = random.Random(6)
+            pk, vk = setup(BN128, circ, rng)
+            w = generate_witness(circ, inputs)
+            proof = prove(pk, circ, w, rng)
+            tr = Tracer()
+            with tracing(tr):
+                assert verify(vk, proof, public_inputs(circ, w))
+            sizes[e] = tr.clock
+        # Verifying work is (near-)independent of the constraint count.
+        assert abs(sizes[4] - sizes[16]) / max(sizes.values()) < 0.02

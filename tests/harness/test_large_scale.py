@@ -1,0 +1,41 @@
+"""Opt-in larger-scale validation (set ``REPRO_SLOW=1`` to enable).
+
+Runs one cell at 2^11 constraints — double the default ladder's top — and
+checks that the headline shapes still hold as size grows, guarding against
+calibration that only works at the small end.
+"""
+
+import os
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SLOW") != "1",
+    reason="set REPRO_SLOW=1 to run the larger-scale validation",
+)
+
+
+def test_trends_hold_at_2_to_11():
+    from repro.harness.runner import profile_run
+
+    profs = profile_run("bn128", 2048)
+
+    # Setup remains the dominant stage and grows superlinearly vs witness.
+    assert profs["setup"].instructions > profs["proving"].instructions
+    assert profs["setup"].instructions > 20 * profs["witness"].instructions
+
+    # Witness/verifying still constant-cost regimes.
+    small = profile_run("bn128", 1024)
+    assert abs(profs["verifying"].instructions
+               - small["verifying"].instructions) \
+        / profs["verifying"].instructions < 0.02
+
+    # Top-down classifications stable at the larger size.
+    assert profs["proving"].view("i9-13900K").topdown.classification == "backend"
+    assert profs["witness"].view("i9-13900K").topdown.classification == "frontend"
+    assert profs["setup"].view("i5-11400").topdown.classification == "frontend"
+
+    # MPKI ordering: setup lowest, witness/proving at the top.
+    for cpu in ("i7-8650U", "i5-11400", "i9-13900K"):
+        col = {s: profs[s].view(cpu).load_mpki for s in profs}
+        assert col["setup"] == min(col.values()), cpu

@@ -1,0 +1,98 @@
+"""Accelerator-projection tests (the paper's PipeZK arithmetic)."""
+
+import pytest
+
+from repro.harness.runner import profile_run
+from repro.perf.accel import AcceleratorSpec, project_protocol, project_stage
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return profile_run("bn128", 128)
+
+
+class TestSpecValidation:
+    def test_rejects_slowdown(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec("bad", {"bigint": 0.5})
+
+    def test_rejects_silly_overhead(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec("bad", {"bigint": 10}, offload_overhead_fraction=1.5)
+
+
+class TestStageProjection:
+    def test_identity_accelerator(self, profiles):
+        spec = AcceleratorSpec("noop", {})
+        proj = project_stage(profiles["proving"], spec)
+        assert proj.stage_speedup == pytest.approx(1.0)
+        assert proj.accelerated_share == 0.0
+
+    def test_amdahl_bound(self, profiles):
+        # Infinite-ish speedup of a share s caps the stage at 1/(1-s).
+        spec = AcceleratorSpec("inf", {"bigint": 1e9})
+        proj = project_stage(profiles["proving"], spec)
+        bound = 1.0 / (1.0 - proj.accelerated_share)
+        assert proj.stage_speedup <= bound + 1e-9
+        assert proj.stage_speedup == pytest.approx(bound, rel=1e-3)
+
+    def test_more_speedup_never_hurts(self, profiles):
+        weak = AcceleratorSpec("x10", {"bigint": 10.0})
+        strong = AcceleratorSpec("x100", {"bigint": 100.0})
+        p = profiles["proving"]
+        assert project_stage(p, strong).stage_speedup >= \
+            project_stage(p, weak).stage_speedup
+
+    def test_overhead_reduces_gain(self, profiles):
+        free = AcceleratorSpec("free", {"bigint": 100.0})
+        costly = AcceleratorSpec("costly", {"bigint": 100.0},
+                                 offload_overhead_fraction=0.10)
+        p = profiles["proving"]
+        assert project_stage(p, costly).stage_speedup < \
+            project_stage(p, free).stage_speedup
+
+    def test_residual_breakdown_excludes_covered(self, profiles):
+        spec = AcceleratorSpec("x", {"bigint": 50.0})
+        proj = project_stage(profiles["proving"], spec)
+        assert "bigint" not in proj.residual_breakdown
+
+    def test_irrelevant_family_is_noop(self, profiles):
+        # The witness stage has (almost) no MSM work to accelerate.
+        spec = AcceleratorSpec("msm-only", {"msm": 200.0})
+        proj = project_stage(profiles["witness"], spec)
+        assert proj.stage_speedup < 1.05
+
+
+class TestProtocolProjection:
+    def test_pipezk_style_gap(self, profiles):
+        """200x on the compute kernels yields a far smaller overall win —
+        the paper's Section I observation."""
+        spec = AcceleratorSpec(
+            "pipezk-like",
+            {"bigint": 200.0, "msm": 200.0, "fft": 200.0, "ec": 200.0},
+            offload_overhead_fraction=0.02,
+        )
+        report = project_protocol(profiles, spec)
+        assert report.per_stage["proving"].module_speedup > 20
+        # Whole protocol: order 5-15x, nowhere near 200x.
+        assert 2.0 < report.protocol_speedup < 30.0
+        assert report.protocol_speedup < \
+            report.per_stage["proving"].module_speedup / 2
+
+    def test_bottleneck_shifts_to_uncovered_stage(self, profiles):
+        spec = AcceleratorSpec(
+            "crypto-only",
+            {"bigint": 1000.0, "msm": 1000.0, "fft": 1000.0, "ec": 1000.0},
+        )
+        report = project_protocol(profiles, spec)
+        # With the crypto gone, the interpreter/compiler stages dominate.
+        assert report.dominant_residual_stage in ("witness", "compile")
+
+    def test_custom_weights(self, profiles):
+        spec = AcceleratorSpec("x", {"bigint": 10.0})
+        only_proving = project_protocol(
+            profiles, spec,
+            weights={s: (1.0 if s == "proving" else 0.0) for s in profiles},
+        )
+        direct = project_stage(profiles["proving"], spec)
+        assert only_proving.protocol_speedup == pytest.approx(direct.stage_speedup)

@@ -1,0 +1,67 @@
+"""Advisor tests: Key-Takeaway recommendations fire on the right evidence."""
+
+import pytest
+
+from repro.harness.runner import profile_run
+from repro.perf.advisor import Recommendation, advise
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return profile_run("bn128", 128)
+
+
+def categories(recs):
+    return {r.category for r in recs}
+
+
+class TestAdvise:
+    def test_proving_gets_parallelism_and_bigint_advice(self, profiles):
+        recs = advise(profiles["proving"])
+        cats = categories(recs)
+        assert "parallelism" in cats
+        assert "bigint" in cats
+        par = next(r for r in recs if r.category == "parallelism")
+        assert "GPU" in par.message
+        assert par.takeaway == 5
+
+    def test_witness_gets_frontend_advice(self, profiles):
+        recs = advise(profiles["witness"], cpu_name="i7-8650U")
+        cats = categories(recs)
+        assert "front-end" in cats
+
+    def test_verifying_gets_frontend_and_bigint(self, profiles):
+        recs = advise(profiles["verifying"], cpu_name="i5-11400")
+        cats = categories(recs)
+        assert "front-end" in cats
+        assert "bigint" in cats
+
+    def test_compile_gets_serial_warning(self, profiles):
+        recs = advise(profiles["compile"])
+        par = [r for r in recs if r.category == "parallelism"]
+        assert par and "serial" in par[0].message.lower()
+
+    def test_takeaway_numbers_valid(self, profiles):
+        for stage, profile in profiles.items():
+            for rec in advise(profile):
+                assert 0 <= rec.takeaway <= 5, (stage, rec)
+
+    def test_data_movement_advice_cites_pim(self, profiles):
+        recs = advise(profiles["proving"])
+        dm = [r for r in recs if r.category == "data-movement"]
+        assert dm and "PIM" in dm[0].message
+        assert dm[0].takeaway == 4
+
+    def test_evidence_strings_are_concrete(self, profiles):
+        for rec in advise(profiles["proving"]):
+            assert any(ch.isdigit() for ch in rec.evidence), rec
+
+    def test_str_rendering(self):
+        rec = Recommendation(category="x", message="do y", evidence="z=1", takeaway=2)
+        text = str(rec)
+        assert "do y" in text and "z=1" in text and "Key Takeaway 2" in text
+
+    def test_explicit_bandwidth_cap(self, profiles):
+        # With a tiny cap everything is "bandwidth-hungry".
+        recs = advise(profiles["witness"], mem_bw_gbps=1.0)
+        assert "memory-bandwidth" in categories(recs)

@@ -1,0 +1,99 @@
+"""Cost-model tests: expansion arithmetic, footprint weighting, attribution."""
+
+from collections import Counter
+
+import pytest
+
+from repro.perf.costmodel import (
+    COSTS,
+    DEFAULT_COST,
+    OpCost,
+    aggregate,
+    cost_of,
+)
+
+
+class TestOpCost:
+    def test_instructions_sum(self):
+        c = OpCost(compute=3, control=2, data=5)
+        assert c.instructions == 10
+
+    def test_known_primitives_present(self):
+        for prim in (
+            "bigint_mul_4", "bigint_mul_6", "bigint_inv_4", "ec_add_g1_bn",
+            "ntt_butterfly", "msm_digit", "malloc", "memcpy", "memcpy_chunk",
+            "wasm_dispatch", "graph_walk", "page_fault", "hash_block",
+            "stream_chunk", "pairing_miller_loop",
+        ):
+            assert prim in COSTS, prim
+
+    def test_unknown_primitive_gets_default(self):
+        assert cost_of("no_such_primitive") is DEFAULT_COST
+
+    def test_six_limb_mul_costs_more(self):
+        assert cost_of("bigint_mul_6").instructions > cost_of("bigint_mul_4").instructions
+        assert cost_of("bigint_mul_6").cycles > cost_of("bigint_mul_4").cycles
+
+    def test_sqr_cheaper_than_mul(self):
+        assert cost_of("bigint_sqr_4").cycles < cost_of("bigint_mul_4").cycles
+
+    def test_function_attribution(self):
+        assert cost_of("bigint_mul_4").function == "bigint"
+        assert cost_of("memcpy_chunk").function == "memcpy"
+        assert cost_of("malloc").function == "malloc"
+        assert cost_of("malloc_page").function == "heap allocation"
+        assert cost_of("page_fault").function == "page fault exception handler"
+
+    def test_bls_ec_aliases(self):
+        assert cost_of("ec_add_g1_bls") is cost_of("ec_add_g1_bn")
+
+
+class TestAggregate:
+    def test_empty(self):
+        s = aggregate(Counter())
+        assert s.instructions == 0
+        assert s.class_fractions() == (0.0, 0.0, 0.0)
+
+    def test_linear_in_counts(self):
+        s1 = aggregate(Counter({"bigint_mul_4": 1}))
+        s10 = aggregate(Counter({"bigint_mul_4": 10}))
+        assert s10.compute == pytest.approx(10 * s1.compute)
+        assert s10.loads == pytest.approx(10 * s1.loads)
+        assert s10.cycles == pytest.approx(10 * s1.cycles)
+
+    def test_class_fractions_sum_to_one(self):
+        s = aggregate(Counter({"bigint_mul_4": 5, "malloc": 2, "graph_walk": 7}))
+        assert sum(s.class_fractions()) == pytest.approx(1.0)
+
+    def test_by_function_cycles(self):
+        s = aggregate(Counter({"bigint_mul_4": 2, "bigint_add_4": 3, "malloc": 1}))
+        c_mul = cost_of("bigint_mul_4").cycles
+        c_add = cost_of("bigint_add_4").cycles
+        assert s.by_function_cycles["bigint"] == pytest.approx(2 * c_mul + 3 * c_add)
+        assert s.by_function_cycles["malloc"] == pytest.approx(cost_of("malloc").cycles)
+
+    def test_mispredictions_accumulate(self):
+        s = aggregate(Counter({"wasm_dispatch": 100}))
+        assert s.mispredictions == pytest.approx(100 * cost_of("wasm_dispatch").mispred)
+
+
+class TestFootprint:
+    def test_hot_primitive_counts_fully(self):
+        # A single dominant primitive contributes its full code size.
+        s = aggregate(Counter({"bigint_mul_4": 100_000}))
+        assert s.code_bytes == cost_of("bigint_mul_4").code_bytes
+
+    def test_cold_primitive_partially_weighted(self):
+        # One pairing op amid a sea of bigint work is cold code.
+        hot = Counter({"bigint_mul_4": 1_000_000})
+        s_without = aggregate(hot)
+        s_with = aggregate(hot + Counter({"pairing_miller_loop": 1}))
+        extra = s_with.code_bytes - s_without.code_bytes
+        assert 0 < extra < cost_of("pairing_miller_loop").code_bytes
+
+    def test_footprint_grows_with_diversity(self):
+        few = aggregate(Counter({"bigint_mul_4": 1000}))
+        many = aggregate(Counter({
+            "bigint_mul_4": 1000, "ec_add_g1_bn": 1000, "ntt_butterfly": 1000,
+        }))
+        assert many.code_bytes > few.code_bytes

@@ -1,0 +1,66 @@
+"""Trace-export tests."""
+
+import json
+
+import pytest
+
+from repro.perf.export import counters_to_csv, to_chrome_trace
+from repro.perf.trace import Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer(label="unit")
+    t.op("bigint_mul_4", 100)
+    with t.region("outer", parallel=True, items=4):
+        t.op("bigint_add_4", 50)
+        with t.region("inner"):
+            t.op("ntt_butterfly", 25)
+    return t
+
+
+class TestChromeTrace:
+    def test_valid_json_with_all_regions(self, tracer):
+        doc = json.loads(to_chrome_trace(tracer))
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert names == ["<root>", "outer", "inner"]
+        assert doc["otherData"]["label"] == "unit"
+
+    def test_durations_positive_and_nested(self, tracer):
+        doc = json.loads(to_chrome_trace(tracer))
+        by_name = {e["name"]: e for e in doc["traceEvents"]}
+        for e in doc["traceEvents"]:
+            assert e["dur"] > 0
+            assert e["ph"] == "X"
+        # A child must fit inside its parent's span.
+        outer, inner = by_name["outer"], by_name["inner"]
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 0.01
+
+    def test_args_carry_counters(self, tracer):
+        doc = json.loads(to_chrome_trace(tracer))
+        outer = next(e for e in doc["traceEvents"] if e["name"] == "outer")
+        assert outer["args"]["parallel"] is True
+        assert outer["args"]["items"] == 4
+        assert outer["args"]["instructions"] > 0
+
+    def test_frequency_scales_durations(self, tracer):
+        slow = json.loads(to_chrome_trace(tracer, freq_ghz=1.0))
+        fast = json.loads(to_chrome_trace(tracer, freq_ghz=4.0))
+        s = next(e for e in slow["traceEvents"] if e["name"] == "outer")["dur"]
+        f = next(e for e in fast["traceEvents"] if e["name"] == "outer")["dur"]
+        assert s == pytest.approx(4 * f, rel=0.05)
+
+
+class TestCsv:
+    def test_header_and_rows(self, tracer):
+        csv = counters_to_csv(tracer)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "region,primitive,count"
+        assert "outer,bigint_add_4,50" in lines
+        assert "inner,ntt_butterfly,25" in lines
+        assert "<root>,bigint_mul_4,100" in lines
+
+    def test_empty_tracer(self):
+        csv = counters_to_csv(Tracer())
+        assert csv.strip() == "region,primitive,count"

@@ -1,0 +1,130 @@
+"""Robustness tests for the observation layer as a whole.
+
+Two invariants that keep the model honest:
+
+- memory-event *sampling* must not change the analyses' conclusions
+  (MPKI/bandwidth within tolerance, top-down classification identical);
+- the top-down model must respond sensibly to *hypothetical* machines
+  (it is a model of CPUs, not a lookup table for three of them).
+"""
+
+import pytest
+
+from repro.curves import BN128
+from repro.harness.circuits import build_exponentiate
+from repro.perf.analysis import analyze_stage
+from repro.perf.cpu import I9_13900K, MachineSpec, _profile
+from repro.perf.trace import Tracer
+from repro.workflow import STAGES, Workflow
+
+
+def profile_with_sampling(mem_sample, stage="proving", size=128):
+    builder, inputs = build_exponentiate(BN128, size)
+    wf = Workflow(BN128, builder, inputs, seed=0)
+    tracers = {s: Tracer(mem_sample=mem_sample) for s in STAGES}
+    wf.run_all(tracers)
+    return analyze_stage(tracers[stage], stage=stage, curve="bn128", size=size)
+
+
+class TestSamplingInvariance:
+    @pytest.fixture(scope="class")
+    def exact(self):
+        return profile_with_sampling(1)
+
+    @pytest.fixture(scope="class")
+    def sampled(self):
+        return profile_with_sampling(4)
+
+    def test_instruction_counts_identical(self, exact, sampled):
+        # Sampling affects memory events only, never the op stream.
+        assert sampled.instructions == pytest.approx(exact.instructions, rel=1e-6)
+
+    def test_mpki_within_tolerance(self, exact, sampled):
+        for cpu in exact.per_cpu:
+            a = exact.view(cpu).load_mpki
+            b = sampled.view(cpu).load_mpki
+            assert b == pytest.approx(a, rel=0.35), cpu
+
+    def test_topdown_classification_stable(self, exact, sampled):
+        for cpu in exact.per_cpu:
+            assert (exact.view(cpu).topdown.classification
+                    == sampled.view(cpu).topdown.classification), cpu
+
+    def test_event_volume_reduced(self):
+        builder, inputs = build_exponentiate(BN128, 128)
+        wf1 = Workflow(BN128, builder, inputs, seed=0)
+        t1 = Tracer(mem_sample=1)
+        wf1.run_stage("compile")
+        wf1.run_stage("setup")
+        wf1.run_stage("witness")
+        wf1.run_stage("proving", t1)
+
+        builder2, inputs2 = build_exponentiate(BN128, 128)
+        wf2 = Workflow(BN128, builder2, inputs2, seed=0)
+        t8 = Tracer(mem_sample=8)
+        wf2.run_stage("compile")
+        wf2.run_stage("setup")
+        wf2.run_stage("witness")
+        wf2.run_stage("proving", t8)
+        assert len(t8.mem_events) < len(t1.mem_events)
+
+
+def custom_cpu(**overrides):
+    """A hypothetical machine derived from the i9."""
+    base = dict(
+        name="custom",
+        cores_perf=4, cores_eff=0, smt_threads=8, freq_ghz=2.0,
+        issue_width=4, rob_size=128,
+        fe_capacity_bytes=64 * 1024, fe_spill_penalty=0.5,
+        branch_mispred_penalty=14, mispred_scale=1.0, dep_sensitivity=0.8,
+        ports_compute=3.0, ports_data=3.0, ports_control=1.5,
+        l1d_kib=32, l2_kib=512, llc_kib=8 * 1024, llc_assoc=16, line_bytes=64,
+        mem_latency_ns=90.0, mem_bw_gbps=25.0, dram_channels=2,
+        dram_type="DDR4", mlp=6.0, thread_profile=_profile(4, 0, 4),
+    )
+    base.update(overrides)
+    return MachineSpec(**base)
+
+
+class TestHypotheticalMachines:
+    @pytest.fixture(scope="class")
+    def tracer(self):
+        builder, inputs = build_exponentiate(BN128, 64)
+        wf = Workflow(BN128, builder, inputs, seed=0)
+        t = Tracer()
+        wf.run_stage("compile")
+        wf.run_stage("setup")
+        wf.run_stage("witness", t)
+        return t
+
+    def test_giant_frontend_removes_fe_boundness(self, tracer):
+        tiny = custom_cpu(fe_capacity_bytes=4 * 1024)
+        huge = custom_cpu(fe_capacity_bytes=16 * 1024 * 1024)
+        p_tiny = analyze_stage(tracer, "witness", "bn128", 64, cpus=[tiny])
+        p_huge = analyze_stage(tracer, "witness", "bn128", 64, cpus=[huge])
+        assert p_tiny.view("custom").topdown.frontend > 0.3
+        assert p_huge.view("custom").topdown.frontend == 0.0
+
+    def test_perfect_ooo_reduces_backend(self, tracer):
+        leaky = custom_cpu(dep_sensitivity=1.0)
+        perfect = custom_cpu(dep_sensitivity=0.0)
+        td_leaky = analyze_stage(tracer, "witness", "bn128", 64,
+                                 cpus=[leaky]).view("custom").topdown
+        td_perfect = analyze_stage(tracer, "witness", "bn128", 64,
+                                   cpus=[perfect]).view("custom").topdown
+        assert td_perfect.backend < td_leaky.backend
+
+    def test_bigger_cache_never_increases_misses(self, tracer):
+        small = custom_cpu(llc_kib=1024)
+        big = custom_cpu(llc_kib=64 * 1024)
+        m_small = analyze_stage(tracer, "witness", "bn128", 64,
+                                cpus=[small]).view("custom").llc_load_misses
+        m_big = analyze_stage(tracer, "witness", "bn128", 64,
+                              cpus=[big]).view("custom").llc_load_misses
+        assert m_big <= m_small
+
+    def test_oracle_predictor_removes_bad_speculation(self, tracer):
+        oracle = custom_cpu(mispred_scale=0.0)
+        td = analyze_stage(tracer, "witness", "bn128", 64,
+                           cpus=[oracle]).view("custom").topdown
+        assert td.bad_speculation == 0.0

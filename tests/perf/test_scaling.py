@@ -1,0 +1,181 @@
+"""Scalability-model tests: time simulation, Amdahl/Gustafson fit recovery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf.cpu import I5_11400, I9_13900K
+from repro.perf.scaling import (
+    WorkSplit,
+    amdahl_fit,
+    gustafson_fit,
+    simulate_time,
+    strong_scaling,
+    weak_scaling,
+    work_split,
+)
+from repro.perf.trace import Tracer
+
+
+class TestWorkSplit:
+    def test_from_tracer(self):
+        tr = Tracer()
+        tr.op("bigint_mul_4", 100)
+        with tr.region("par", parallel=True):
+            tr.op("bigint_mul_4", 300)
+        split = work_split(tr, traffic_bytes=1234)
+        assert split.parallel_cycles > split.serial_cycles > 0
+        assert split.traffic_bytes == 1234
+        assert 0.7 < split.parallel_fraction < 0.8
+
+    def test_total(self):
+        s = WorkSplit(serial_cycles=10, parallel_cycles=30)
+        assert s.total_cycles == 40
+        assert s.parallel_fraction == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert WorkSplit(0, 0).parallel_fraction == 0.0
+
+
+class TestSimulateTime:
+    def test_single_thread_is_total_work(self):
+        s = WorkSplit(serial_cycles=1e6, parallel_cycles=3e6)
+        assert simulate_time(s, I9_13900K, 1, overhead_cycles=0) == pytest.approx(4e6)
+
+    def test_monotone_speedup_without_overhead(self):
+        s = WorkSplit(serial_cycles=1e6, parallel_cycles=100e6)
+        times = [simulate_time(s, I9_13900K, n, overhead_cycles=0) for n in (1, 2, 4, 8)]
+        assert times == sorted(times, reverse=True)
+
+    def test_overhead_hurts_small_tasks(self):
+        # A sub-millisecond task regresses at high thread counts (the
+        # paper's compile-at-2^10 observation).
+        tiny = WorkSplit(serial_cycles=2e5, parallel_cycles=8e5)
+        t18 = simulate_time(tiny, I9_13900K, 18)
+        t24 = simulate_time(tiny, I9_13900K, 24)
+        assert t24 > t18
+
+    def test_bandwidth_floor_limits_parallel_phase(self):
+        heavy = WorkSplit(serial_cycles=0, parallel_cycles=1e9,
+                          traffic_bytes=100e9)  # 100 GB of traffic
+        capped = simulate_time(heavy, I5_11400, 12, overhead_cycles=0)
+        floor = 100e9 * I5_11400.freq_ghz / I5_11400.mem_bw_gbps
+        assert capped >= floor
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            simulate_time(WorkSplit(1, 1), I9_13900K, 0)
+
+    def test_heterogeneous_capacity(self):
+        # Threads 9.. land on E-cores: marginal speedup per thread drops.
+        s = WorkSplit(serial_cycles=0, parallel_cycles=1e9)
+        t8 = simulate_time(s, I9_13900K, 8, overhead_cycles=0)
+        t9 = simulate_time(s, I9_13900K, 9, overhead_cycles=0)
+        gain_p = simulate_time(s, I9_13900K, 7, overhead_cycles=0) - t8
+        gain_e = t8 - t9
+        assert gain_e < gain_p
+
+
+class TestStrongScaling:
+    def test_speedup_at_one_is_one(self):
+        s = WorkSplit(serial_cycles=1e6, parallel_cycles=9e6)
+        sp = strong_scaling(s, I9_13900K, threads=(1, 2, 4))
+        assert sp[1] == pytest.approx(1.0)
+
+    def test_fully_serial_never_speeds_up(self):
+        s = WorkSplit(serial_cycles=1e8, parallel_cycles=0)
+        sp = strong_scaling(s, I9_13900K)
+        assert all(v <= 1.0 + 1e-9 for v in sp.values())
+
+    def test_highly_parallel_scales(self):
+        s = WorkSplit(serial_cycles=1e6, parallel_cycles=1e9)
+        sp = strong_scaling(s, I9_13900K)
+        assert sp[8] > 4.0
+
+
+class TestWeakScaling:
+    def test_requires_baseline(self):
+        with pytest.raises(ValueError):
+            weak_scaling({2: WorkSplit(1, 1)}, I9_13900K)
+
+    def test_constant_serial_work_scales_linearly(self):
+        # Work independent of problem size and serial (t_n == t_1, the
+        # witness/verifying situation): Speedup_WS == sf == n exactly.
+        split = WorkSplit(serial_cycles=1e8, parallel_cycles=0)
+        splits = {n: split for n in (1, 2, 4, 8)}
+        ws = weak_scaling(splits, I9_13900K, overhead_cycles=0)
+        for n in (2, 4, 8):
+            assert ws[n] == pytest.approx(n, rel=1e-6)
+
+    def test_constant_mixed_work_scales_superlinearly(self):
+        # Constant work with a parallel share: t_n < t_1, so the scaled
+        # speedup exceeds n (clamped to ~100% parallel by the fit).
+        split = WorkSplit(serial_cycles=5e7, parallel_cycles=5e7)
+        splits = {n: split for n in (1, 2, 4, 8)}
+        ws = weak_scaling(splits, I9_13900K, overhead_cycles=0)
+        assert all(ws[n] >= n for n in (2, 4, 8))
+        s, p = gustafson_fit(ws)
+        assert s == 0.0 and p == 1.0
+
+    def test_linear_work_perfectly_parallel(self):
+        # Work scaling with size, all parallel: Speedup_WS stays near n
+        # until heterogeneity bends it.
+        splits = {
+            n: WorkSplit(serial_cycles=0, parallel_cycles=n * 1e8)
+            for n in (1, 2, 4, 8)
+        }
+        ws = weak_scaling(splits, I9_13900K, overhead_cycles=0)
+        assert ws[8] == pytest.approx(8.0)
+
+    def test_linear_work_fully_serial_flat(self):
+        splits = {
+            n: WorkSplit(serial_cycles=n * 1e8, parallel_cycles=0)
+            for n in (1, 2, 4, 8)
+        }
+        ws = weak_scaling(splits, I9_13900K, overhead_cycles=0)
+        assert ws[8] == pytest.approx(1.0)
+
+
+class TestFits:
+    @pytest.mark.parametrize("serial_frac", [0.1, 0.3, 0.5, 0.9])
+    def test_amdahl_recovers_ground_truth(self, serial_frac):
+        speedups = {
+            n: 1.0 / (serial_frac + (1 - serial_frac) / n)
+            for n in (1, 2, 4, 8, 16, 32)
+        }
+        s, p = amdahl_fit(speedups)
+        assert s == pytest.approx(serial_frac, abs=1e-9)
+        assert p == pytest.approx(1 - serial_frac, abs=1e-9)
+
+    @pytest.mark.parametrize("serial_frac", [0.05, 0.25, 0.75])
+    def test_gustafson_recovers_ground_truth(self, serial_frac):
+        speedups = {
+            n: serial_frac + (1 - serial_frac) * n for n in (1, 2, 4, 8, 16, 32)
+        }
+        s, p = gustafson_fit(speedups)
+        assert s == pytest.approx(serial_frac, abs=1e-9)
+        assert p == pytest.approx(1 - serial_frac, abs=1e-9)
+
+    def test_fits_clamped(self):
+        # Superlinear data clamps to fully parallel, degenerate to serial.
+        s, _ = amdahl_fit({1: 1.0, 2: 4.0, 4: 16.0})
+        assert s == 0.0
+        s, _ = gustafson_fit({1: 1.0, 2: 0.1, 4: 0.1})
+        assert s == 1.0
+
+    def test_empty_fit_defaults_serial(self):
+        assert amdahl_fit({1: 1.0}) == (1.0, 0.0)
+        assert gustafson_fit({1: 1.0}) == (1.0, 0.0)
+
+
+@given(serial=st.floats(min_value=0.01, max_value=0.99))
+@settings(max_examples=30, deadline=None)
+def test_simulated_strong_scaling_fit_tracks_structure(serial):
+    # The Amdahl fit of a simulated (overhead-free) sweep must recover the
+    # structural serial fraction of the work split.
+    total = 1e9
+    split = WorkSplit(serial_cycles=serial * total,
+                      parallel_cycles=(1 - serial) * total)
+    # Homogeneous machine: use the i5 (P-cores only) and its core count.
+    sp = strong_scaling(split, I5_11400, threads=(1, 2, 3, 6), overhead_cycles=0)
+    s, _ = amdahl_fit(sp)
+    assert s == pytest.approx(serial, abs=0.02)

@@ -1,0 +1,95 @@
+"""Property tests: randomly generated PLONK circuits prove and verify.
+
+Each case builds a random DAG of add/mul/constant gates over a handful of
+free inputs, proves a correct assignment, and verifies; then flips one
+public value and checks rejection.  This covers gate/permutation
+interactions no hand-written circuit exercises.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.curves import BN128
+from repro.plonk import PlonkCircuit, plonk_prove, plonk_setup, plonk_verify
+from repro.plonk.circuit import compile_plonk
+from repro.plonk.kzg import SRS
+
+FR = BN128.fr
+
+# One shared SRS big enough for every generated circuit (n <= 32 -> 4n+8).
+_SRS = SRS.generate(BN128, 4 * 32 + 8, random.Random(0xBEEF))
+
+
+def random_circuit(seed, n_free=2, n_gates=8):
+    """A random gate DAG; returns (circuit, free_vars, out_public_var)."""
+    rng = random.Random(seed)
+    circ = PlonkCircuit(FR)
+    out_pub = circ.public_input()
+    free = [circ.new_var() for _ in range(n_free)]
+    pool = list(free)
+    for _ in range(n_gates):
+        kind = rng.choice(("add", "mul", "const"))
+        if kind == "const":
+            pool.append(circ.constant_gate(rng.randrange(1, 100)))
+        else:
+            a, b = rng.choice(pool), rng.choice(pool)
+            pool.append(circ.add_gate(a, b) if kind == "add" else circ.mul_gate(a, b))
+    circ.assert_equal(pool[-1], out_pub)
+    return circ, free, out_pub, pool[-1]
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=6, deadline=None)
+def test_random_circuits_prove_and_verify(seed):
+    rng = random.Random(seed ^ 0x5A5A)
+    circ, free, out_pub, out_var = random_circuit(seed)
+    compiled = compile_plonk(circ)
+    pre = plonk_setup(BN128, compiled, rng, srs=_SRS)
+
+    # Derive the correct public output by evaluating once.
+    assignment = {v: rng.randrange(FR.modulus) for v in free}
+    probe = circ.full_assignment({**assignment, out_pub: 0})
+    y = probe[out_var]
+    values = circ.full_assignment({**assignment, out_pub: y})
+    assert circ.check(values) is None
+
+    proof = plonk_prove(pre, values, rng)
+    assert plonk_verify(pre, proof, [y])
+    assert not plonk_verify(pre, proof, [(y + 1) % FR.modulus])
+
+
+def test_wide_fanout_circuit():
+    """One variable feeding many gates stresses long permutation cycles."""
+    rng = random.Random(99)
+    circ = PlonkCircuit(FR)
+    pub = circ.public_input()
+    x = circ.new_var()
+    acc = circ.constant_gate(0)
+    for _ in range(12):
+        acc = circ.add_gate(acc, x)  # 12-way fanout of x
+    circ.assert_equal(acc, pub)
+    compiled = compile_plonk(circ)
+    pre = plonk_setup(BN128, compiled, rng)
+    values = circ.full_assignment({x: 7, pub: 84})
+    proof = plonk_prove(pre, values, rng)
+    assert plonk_verify(pre, proof, [84])
+
+
+def test_multiple_public_inputs():
+    rng = random.Random(100)
+    circ = PlonkCircuit(FR)
+    p1 = circ.public_input()
+    p2 = circ.public_input()
+    s = circ.add_gate(p1, p2)
+    out = circ.public_input()
+    circ.assert_equal(s, out)
+    compiled = compile_plonk(circ)
+    assert compiled.n_public == 3
+    pre = plonk_setup(BN128, compiled, rng)
+    values = circ.full_assignment({p1: 11, p2: 31, out: 42})
+    proof = plonk_prove(pre, values, rng)
+    assert plonk_verify(pre, proof, [11, 31, 42])
+    assert not plonk_verify(pre, proof, [11, 31, 43])
+    assert not plonk_verify(pre, proof, [31, 11, 42])  # order matters

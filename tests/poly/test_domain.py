@@ -1,0 +1,113 @@
+"""Evaluation-domain tests: roots of unity, vanishing and Lagrange kernels."""
+
+import random
+
+import pytest
+
+from repro.fields import BLS12_381_FR, BN254_FR
+from repro.poly import EvaluationDomain, Polynomial
+
+FIELDS = [BN254_FR, BLS12_381_FR]
+
+
+@pytest.fixture(params=FIELDS, ids=lambda f: f.name)
+def fr(request):
+    return request.param
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self, fr):
+        with pytest.raises(ValueError):
+            EvaluationDomain(fr, 12)
+
+    def test_rejects_zero(self, fr):
+        with pytest.raises(ValueError):
+            EvaluationDomain(fr, 0)
+
+    def test_size_one(self, fr):
+        d = EvaluationDomain(fr, 1)
+        assert d.omega == 1
+        assert d.elements() == [1]
+
+    def test_for_constraints_rounds_up(self, fr):
+        assert EvaluationDomain.for_constraints(fr, 5).size == 8
+        assert EvaluationDomain.for_constraints(fr, 8).size == 8
+        assert EvaluationDomain.for_constraints(fr, 0).size == 1
+
+    def test_two_adicity_limit(self):
+        # BN254's scalar field has 2-adicity 28; 2^29 must fail.
+        with pytest.raises(ValueError):
+            EvaluationDomain(BN254_FR, 1 << 29)
+
+
+class TestRoots:
+    def test_omega_has_exact_order(self, fr):
+        d = EvaluationDomain(fr, 32)
+        assert pow(d.omega, 32, fr.modulus) == 1
+        assert pow(d.omega, 16, fr.modulus) == fr.modulus - 1
+
+    def test_omega_inverse(self, fr):
+        d = EvaluationDomain(fr, 16)
+        assert d.omega * d.omega_inv % fr.modulus == 1
+
+    def test_elements_distinct(self, fr):
+        d = EvaluationDomain(fr, 64)
+        els = d.elements()
+        assert len(set(els)) == 64
+
+    def test_n_inv(self, fr):
+        d = EvaluationDomain(fr, 16)
+        assert 16 * d.n_inv % fr.modulus == 1
+
+    def test_coset_disjoint_from_domain(self, fr):
+        d = EvaluationDomain(fr, 16)
+        dom = set(d.elements())
+        coset = {fr.mul(d.coset_gen, w) for w in dom}
+        assert dom.isdisjoint(coset)
+
+
+class TestVanishing:
+    def test_zero_on_domain(self, fr):
+        d = EvaluationDomain(fr, 8)
+        for w in d.elements():
+            assert d.vanishing_at(w) == 0
+
+    def test_nonzero_off_domain(self, fr):
+        d = EvaluationDomain(fr, 8)
+        assert d.vanishing_at(d.coset_gen) != 0
+
+    def test_matches_polynomial(self, fr):
+        d = EvaluationDomain(fr, 8)
+        z = Polynomial.vanishing(fr, d)
+        r = random.Random(1)
+        for _ in range(5):
+            x = fr.rand(r)
+            assert z.evaluate(x) == d.vanishing_at(x)
+
+
+class TestLagrange:
+    def test_partition_of_unity(self, fr):
+        d = EvaluationDomain(fr, 8)
+        tau = fr.rand(random.Random(2))
+        lag = d.lagrange_at(tau)
+        assert sum(lag) % fr.modulus == 1
+
+    def test_interpolation_identity(self, fr):
+        # sum_j y_j L_j(tau) must equal the interpolating polynomial at tau.
+        d = EvaluationDomain(fr, 8)
+        r = random.Random(3)
+        ys = [fr.rand(r) for _ in range(8)]
+        tau = fr.rand(r)
+        poly = Polynomial.interpolate(fr, list(zip(d.elements(), ys)))
+        lag = d.lagrange_at(tau)
+        via_lagrange = 0
+        for lj, yj in zip(lag, ys):
+            via_lagrange = fr.add(via_lagrange, fr.mul(lj, yj))
+        assert via_lagrange == poly.evaluate(tau)
+
+    def test_at_domain_point_is_indicator(self, fr):
+        d = EvaluationDomain(fr, 8)
+        els = d.elements()
+        lag = d.lagrange_at(els[3])
+        assert lag[3] == 1
+        assert all(v == 0 for i, v in enumerate(lag) if i != 3)

@@ -1,0 +1,144 @@
+"""NTT kernel tests: round trips, evaluation semantics, coset transforms,
+and behaviour under tracing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields import BN254_FR
+from repro.perf.trace import Tracer, tracing
+from repro.poly import EvaluationDomain, Polynomial, intt, ntt
+from repro.poly.ntt import bit_reverse_permute, coset_intt, coset_ntt
+
+FR = BN254_FR
+
+
+@pytest.fixture
+def domain16():
+    return EvaluationDomain(FR, 16)
+
+
+def rand_coeffs(n, seed=0):
+    r = random.Random(seed)
+    return [FR.rand(r) for _ in range(n)]
+
+
+class TestBitReverse:
+    def test_known_permutation(self):
+        assert bit_reverse_permute([0, 1, 2, 3, 4, 5, 6, 7]) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_involution(self):
+        vals = list(range(32))
+        assert bit_reverse_permute(bit_reverse_permute(list(vals))) == vals
+
+    def test_single_element(self):
+        assert bit_reverse_permute([42]) == [42]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n", [1, 2, 4, 16, 64, 256])
+    def test_ntt_intt_roundtrip(self, n):
+        d = EvaluationDomain(FR, n)
+        coeffs = rand_coeffs(n, seed=n)
+        assert intt(FR, ntt(FR, coeffs, d), d) == coeffs
+
+    @pytest.mark.parametrize("n", [2, 16, 128])
+    def test_coset_roundtrip(self, n):
+        d = EvaluationDomain(FR, n)
+        coeffs = rand_coeffs(n, seed=n + 1)
+        assert coset_intt(FR, coset_ntt(FR, coeffs, d), d) == coeffs
+
+    def test_length_mismatch_raises(self, domain16):
+        with pytest.raises(ValueError):
+            ntt(FR, [1, 2, 3], domain16)
+        with pytest.raises(ValueError):
+            intt(FR, [1] * 8, domain16)
+
+    def test_non_power_of_two_raises(self):
+        from repro.poly.ntt import _transform
+
+        with pytest.raises(ValueError):
+            _transform(FR, [1, 2, 3], 1, "x")
+
+
+class TestSemantics:
+    def test_matches_horner_evaluation(self, domain16):
+        coeffs = rand_coeffs(16, seed=5)
+        p = Polynomial(FR, coeffs)
+        evals = ntt(FR, coeffs, domain16)
+        for w, e in zip(domain16.elements(), evals):
+            assert p.evaluate(w) == e
+
+    def test_coset_matches_horner_on_coset(self, domain16):
+        coeffs = rand_coeffs(16, seed=6)
+        p = Polynomial(FR, coeffs)
+        evals = coset_ntt(FR, coeffs, domain16)
+        g = domain16.coset_gen
+        for i, w in enumerate(domain16.elements()):
+            assert p.evaluate(FR.mul(g, w)) == evals[i]
+
+    def test_constant_polynomial(self, domain16):
+        evals = ntt(FR, [7] + [0] * 15, domain16)
+        assert evals == [7] * 16
+
+    def test_linearity(self, domain16):
+        a = rand_coeffs(16, seed=7)
+        b = rand_coeffs(16, seed=8)
+        sum_ab = [FR.add(x, y) for x, y in zip(a, b)]
+        ea, eb = ntt(FR, a, domain16), ntt(FR, b, domain16)
+        esum = ntt(FR, sum_ab, domain16)
+        assert esum == [FR.add(x, y) for x, y in zip(ea, eb)]
+
+    def test_pointwise_mul_is_convolution(self):
+        # deg < n/2 polynomials: NTT-domain product == coefficient product.
+        d = EvaluationDomain(FR, 16)
+        a = Polynomial(FR, rand_coeffs(7, seed=9))
+        b = Polynomial(FR, rand_coeffs(8, seed=10))
+        ea = ntt(FR, list(a.coeffs) + [0] * (16 - len(a.coeffs)), d)
+        eb = ntt(FR, list(b.coeffs) + [0] * (16 - len(b.coeffs)), d)
+        prod_evals = [FR.mul(x, y) for x, y in zip(ea, eb)]
+        prod_coeffs = intt(FR, prod_evals, d)
+        expected = a * b
+        assert Polynomial(FR, prod_coeffs) == expected
+
+    def test_input_not_mutated(self, domain16):
+        coeffs = rand_coeffs(16, seed=11)
+        snapshot = list(coeffs)
+        ntt(FR, coeffs, domain16)
+        assert coeffs == snapshot
+
+
+@given(seed=st.integers(min_value=0, max_value=1 << 30))
+@settings(max_examples=20, deadline=None)
+def test_roundtrip_property(seed):
+    d = EvaluationDomain(FR, 32)
+    coeffs = rand_coeffs(32, seed=seed)
+    assert intt(FR, ntt(FR, coeffs, d), d) == coeffs
+
+
+class TestTracedPath:
+    def test_traced_matches_untraced(self, domain16):
+        coeffs = rand_coeffs(16, seed=12)
+        plain = ntt(FR, coeffs, domain16)
+        with tracing(Tracer()):
+            traced = ntt(FR, coeffs, domain16)
+        assert plain == traced
+
+    def test_traced_reports_parallel_butterflies(self, domain16):
+        coeffs = rand_coeffs(16, seed=13)
+        tr = Tracer()
+        with tracing(tr):
+            ntt(FR, coeffs, domain16)
+        counts = tr.total_counts()
+        # n/2 * log2(n) butterflies.
+        assert counts["ntt_butterfly"] == 8 * 4
+        _serial, parallel = tr.counts_by_parallel()
+        assert parallel["ntt_butterfly"] == 8 * 4
+
+    def test_traced_emits_streaming_traffic(self, domain16):
+        tr = Tracer()
+        with tracing(tr):
+            ntt(FR, rand_coeffs(16, seed=14), domain16)
+        bursts = [e for e in tr.mem_events if e[0] in ("LB", "SB")]
+        assert bursts, "NTT passes should emit burst traffic"

@@ -1,0 +1,124 @@
+"""QAP conversion tests: column evaluation, quotient, R1CS<->QAP equivalence."""
+
+import random
+
+import pytest
+
+from repro.circuit import CircuitBuilder, compile_circuit, gadgets
+from repro.fields import BN254_FR
+from repro.groth16 import generate_witness
+from repro.poly import Polynomial
+from repro.qap import column_evaluations_at, column_polynomials, compute_h, qap_domain
+
+FR = BN254_FR
+
+
+@pytest.fixture(scope="module")
+def system():
+    b = CircuitBuilder("pow6", FR)
+    x = b.private_input("x")
+    b.output(gadgets.exponentiate(b, x, 6), "y")
+    circ = compile_circuit(b)
+    witness = generate_witness(circ, {"x": 3})
+    return circ.r1cs, witness
+
+
+class TestDomain:
+    def test_domain_hosts_constraints(self, system):
+        r1cs, _ = system
+        d = qap_domain(r1cs)
+        assert d.size >= r1cs.n_constraints
+        assert d.size & (d.size - 1) == 0
+
+
+class TestColumns:
+    def test_columns_interpolate_matrix(self, system):
+        r1cs, _ = system
+        d = qap_domain(r1cs)
+        U, V, W = column_polynomials(r1cs, d)
+        els = d.elements()
+        for j, cons in enumerate(r1cs.constraints):
+            for wire in range(r1cs.n_wires):
+                assert U[wire].evaluate(els[j]) == cons.a.get(wire, 0)
+                assert V[wire].evaluate(els[j]) == cons.b.get(wire, 0)
+                assert W[wire].evaluate(els[j]) == cons.c.get(wire, 0)
+
+    def test_evaluations_at_match_polynomials(self, system):
+        r1cs, _ = system
+        d = qap_domain(r1cs)
+        tau = FR.rand(random.Random(1))
+        u, v, w = column_evaluations_at(r1cs, d, tau)
+        U, V, W = column_polynomials(r1cs, d)
+        for wire in range(r1cs.n_wires):
+            assert u[wire] == U[wire].evaluate(tau)
+            assert v[wire] == V[wire].evaluate(tau)
+            assert w[wire] == W[wire].evaluate(tau)
+
+    def test_evaluations_at_domain_point(self, system):
+        # tau on the domain exercises the indicator fast path.
+        r1cs, _ = system
+        d = qap_domain(r1cs)
+        tau = d.elements()[2]
+        u, _v, _w = column_evaluations_at(r1cs, d, tau)
+        cons = r1cs.constraints[2]
+        for wire in range(r1cs.n_wires):
+            assert u[wire] == cons.a.get(wire, 0)
+
+
+class TestQuotient:
+    def test_divisibility_identity(self, system):
+        # (sum z_i u_i)(sum z_i v_i) - (sum z_i w_i) == h * Z  as polynomials.
+        r1cs, witness = system
+        d = qap_domain(r1cs)
+        h = compute_h(r1cs, witness, d)
+        U, V, W = column_polynomials(r1cs, d)
+        A = Polynomial.zero(FR)
+        B = Polynomial.zero(FR)
+        C = Polynomial.zero(FR)
+        for wire, z in enumerate(witness):
+            A = A + U[wire].scale(z)
+            B = B + V[wire].scale(z)
+            C = C + W[wire].scale(z)
+        lhs = A * B - C
+        rhs = Polynomial(FR, h) * Polynomial.vanishing(FR, d)
+        assert lhs == rhs
+
+    def test_degree_bound(self, system):
+        r1cs, witness = system
+        d = qap_domain(r1cs)
+        h = compute_h(r1cs, witness, d)
+        assert len(h) == d.size - 1
+
+    def test_bad_witness_rejected(self, system):
+        r1cs, witness = system
+        d = qap_domain(r1cs)
+        bad = list(witness)
+        bad[2] = (bad[2] + 1) % FR.modulus
+        with pytest.raises(ValueError, match="does not satisfy"):
+            compute_h(r1cs, bad, d)
+
+    def test_identity_at_random_point_for_several_witnesses(self):
+        # The divisibility identity must hold at arbitrary points for
+        # arbitrary satisfying witnesses.
+        b = CircuitBuilder("pow6", FR)
+        x_sig = b.private_input("x")
+        b.output(gadgets.exponentiate(b, x_sig, 6), "y")
+        circ = compile_circuit(b)
+        r1cs = circ.r1cs
+        d = qap_domain(r1cs)
+        U, V, W_ = column_polynomials(r1cs, d)
+        rng = random.Random(2)
+        for x in (2, 97, rng.randrange(FR.modulus)):
+            w = generate_witness(circ, {"x": x})
+            h = compute_h(r1cs, w, d)
+            point = FR.rand(rng)
+            a = 0
+            bb = 0
+            c = 0
+            for i, z in enumerate(w):
+                a = FR.add(a, FR.mul(U[i].evaluate(point), z))
+                bb = FR.add(bb, FR.mul(V[i].evaluate(point), z))
+                c = FR.add(c, FR.mul(W_[i].evaluate(point), z))
+            z_at = d.vanishing_at(point)
+            hval = Polynomial(FR, h).evaluate(point)
+            assert FR.sub(FR.mul(a, bb), c) == FR.mul(hval, z_at)

@@ -1,0 +1,63 @@
+"""CLI tests (``python -m repro``)."""
+
+import os
+
+import pytest
+
+from repro.cli import ARTIFACTS, build_parser, main
+
+
+def run_cli(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(str(l) for l in lines)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_size_parsing(self):
+        args = build_parser().parse_args(["run", "fig4", "--sizes", "8,16"])
+        assert args.sizes == (8, 16)
+
+    def test_bad_sizes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig4", "--sizes", "0"])
+
+
+class TestCommands:
+    def test_list(self):
+        code, out = run_cli(["list"])
+        assert code == 0
+        for name in ARTIFACTS:
+            assert name in out
+
+    def test_prove(self):
+        code, out = run_cli(["prove", "--exponent", "4"])
+        assert code == 0
+        assert "accepted: True" in out
+        assert "proving" in out
+
+    def test_run_single_artifact(self, tmp_path):
+        code, out = run_cli([
+            "run", "table5", "--sizes", "8", "--curves", "bn128",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        assert "Table5" in out
+        assert os.path.exists(tmp_path / "table5.txt")
+
+    def test_run_all_writes_every_artifact(self, tmp_path):
+        code, _ = run_cli([
+            "run", "all", "--sizes", "8", "--curves", "bn128",
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        for name in ARTIFACTS:
+            assert os.path.exists(tmp_path / f"{name}.txt"), name

@@ -1,0 +1,99 @@
+"""Workflow orchestration tests (Fig. 1's five stages)."""
+
+import pytest
+
+from repro.curves import BN128
+from repro.harness.circuits import build_exponentiate
+from repro.perf.trace import Tracer
+from repro.workflow import STAGES, Workflow
+
+
+def make_workflow(n=8, seed=0):
+    builder, inputs = build_exponentiate(BN128, n)
+    return Workflow(BN128, builder, inputs, seed=seed)
+
+
+class TestStageOrder:
+    def test_canonical_stages(self):
+        assert STAGES == ("compile", "setup", "witness", "proving", "verifying")
+
+    def test_run_all_accepts(self):
+        wf = make_workflow()
+        results = wf.run_all()
+        assert wf.accepted is True
+        assert set(results) == set(STAGES)
+        assert all(r.elapsed >= 0 for r in results.values())
+
+    def test_unknown_stage(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            make_workflow().run_stage("fuzzing")
+
+    def test_setup_requires_compile(self):
+        with pytest.raises(RuntimeError, match="compile"):
+            make_workflow().run_stage("setup")
+
+    def test_proving_requires_setup_and_witness(self):
+        wf = make_workflow()
+        wf.run_stage("compile")
+        with pytest.raises(RuntimeError):
+            wf.run_stage("proving")
+        wf.run_stage("setup")
+        with pytest.raises(RuntimeError, match="witness"):
+            wf.run_stage("proving")
+
+    def test_verifying_requires_proof(self):
+        wf = make_workflow()
+        wf.run_stage("compile")
+        with pytest.raises(RuntimeError):
+            wf.run_stage("verifying")
+
+
+class TestArtifacts:
+    def test_artifact_flow(self):
+        wf = make_workflow()
+        circ = wf.run_stage("compile").artifact
+        assert circ.n_constraints == 8
+        pk, vk = wf.run_stage("setup").artifact
+        witness = wf.run_stage("witness").artifact
+        assert circ.r1cs.is_satisfied(witness)
+        proof = wf.run_stage("proving").artifact
+        assert proof.size_bytes() > 0
+        assert wf.run_stage("verifying").artifact is True
+
+    def test_seed_reproducibility(self):
+        wf1, wf2 = make_workflow(seed=42), make_workflow(seed=42)
+        wf1.run_all()
+        wf2.run_all()
+        assert wf1.proof.a == wf2.proof.a
+        assert wf1.pk.alpha1 == wf2.pk.alpha1
+
+    def test_different_seeds_differ(self):
+        wf1, wf2 = make_workflow(seed=1), make_workflow(seed=2)
+        wf1.run_all()
+        wf2.run_all()
+        assert wf1.proof.a != wf2.proof.a
+
+
+class TestTracedRuns:
+    def test_per_stage_tracers(self):
+        wf = make_workflow()
+        tracers = {stage: Tracer(label=stage) for stage in STAGES}
+        wf.run_all(tracers)
+        assert wf.accepted is True
+        for stage in STAGES:
+            assert tracers[stage].clock > 0, stage
+
+    def test_traced_result_matches_untraced(self):
+        plain = make_workflow(seed=3)
+        plain.run_all()
+        traced = make_workflow(seed=3)
+        traced.run_all({stage: Tracer() for stage in STAGES})
+        assert plain.proof.a == traced.proof.a
+        assert plain.accepted == traced.accepted
+
+    def test_result_records_tracer(self):
+        wf = make_workflow()
+        tr = Tracer()
+        res = wf.run_stage("compile", tr)
+        assert res.tracer is tr
+        assert wf.results["compile"] is res
