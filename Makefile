@@ -1,12 +1,17 @@
 # Convenience targets; see README.md.
 
-.PHONY: install test bench artifacts slow clean
+.PHONY: install test lint bench artifacts slow clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+lint:
+	@command -v ruff >/dev/null 2>&1 && ruff check . \
+		|| echo "ruff not installed; skipping source lint"
+	PYTHONPATH=src python -m repro lint
 
 bench:
 	pytest benchmarks/ --benchmark-only

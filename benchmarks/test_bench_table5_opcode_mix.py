@@ -16,7 +16,6 @@ def test_table5_opcode_mix(benchmark, sweep, emit):
     mix = result.extras["mix"]
 
     for ec in ("BN", "BLS"):
-        comp = {stage: mix[(ec, stage)][0] for stage in STAGES}
         ctrl = {stage: mix[(ec, stage)][1] for stage in STAGES}
         data = {stage: mix[(ec, stage)][2] for stage in STAGES}
 

@@ -1,0 +1,66 @@
+"""Pass orchestration: run every analysis pass over one compiled circuit.
+
+:func:`analyze` is the single entry point used by
+``compile_circuit(check=True)``, the ``repro lint`` CLI and the test
+suite.  Passes are registered in :data:`PASSES` and can be selected by
+name; suppression and baselines are applied before the report is returned.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.constrained import check_constrained
+from repro.analyze.cost import check_cost
+from repro.analyze.diagnostics import AnalysisReport
+from repro.analyze.redundancy import check_redundancy
+from repro.analyze.structural import check_structure
+
+__all__ = ["PASSES", "analyze"]
+
+#: Ordered pass registry: name -> callable(circuit) -> list[Diagnostic].
+PASSES = {
+    "structure": check_structure,
+    "constrained": check_constrained,
+    "redundancy": check_redundancy,
+    "cost": check_cost,
+}
+
+
+def analyze(circuit, *, expected_constraints=None, passes=None,
+            suppress=(), baseline=None):
+    """Run the static analyzer over a
+    :class:`~repro.circuit.compiler.CompiledCircuit`.
+
+    Parameters
+    ----------
+    circuit:
+        The compiled circuit (optimized or not).
+    expected_constraints:
+        The gadget's expected size; enables the ``ZK402`` blowup lint.
+    passes:
+        Iterable of pass names from :data:`PASSES` (default: all).
+    suppress:
+        Diagnostic codes to drop (e.g. ``{"ZK403"}``).
+    baseline:
+        Set of accepted fingerprints (see
+        :func:`repro.analyze.diagnostics.load_baseline`).
+
+    Returns
+    -------
+    AnalysisReport
+        Sorted (severity-first) and filtered diagnostics plus R1CS stats.
+    """
+    names = list(passes) if passes is not None else list(PASSES)
+    unknown = [n for n in names if n not in PASSES]
+    if unknown:
+        raise ValueError(f"unknown analysis pass(es) {unknown}; "
+                         f"choose from {sorted(PASSES)}")
+    report = AnalysisReport(circuit.name, stats=circuit.r1cs.stats())
+    for name in names:
+        if name == "cost":
+            report.extend(check_cost(circuit, expected_constraints))
+        else:
+            report.extend(PASSES[name](circuit))
+    report.finalize()
+    if suppress or baseline:
+        report = report.filtered(suppress=suppress, baseline=baseline)
+    return report

@@ -1,0 +1,105 @@
+"""Constraint-coverage checks (``ZK2xx``) — the circom soundness bug class.
+
+A hint (circom's ``<--``) computes a wire during witness generation without
+adding a constraint; the author must pin the value down separately.  Forget
+that, and the proof verifies for *any* value of the wire: the classic
+under-constrained-circuit vulnerability (the bug class circomspect and
+similar auditing tools exist for).
+
+The pass runs a determined-wire propagation over the compiled witness
+program — which wires the prover computes, and how — and cross-checks it
+against *constraint coverage* — which wires the proof actually binds:
+
+- an **output** wire outside every constraint means the public result is
+  never checked (``ZK201``, error);
+- a **hint-computed** wire outside every constraint is prover-chosen and
+  unbound (``ZK202``, error);
+- an **input** wire outside every constraint never influences the proof
+  (``ZK203``, warning);
+- a wire *referenced* by constraints but never assigned by the program
+  stays zero in every honest witness (``ZK204``, warning — the constraint
+  is either vacuous or unsatisfiable at proving time).
+"""
+
+from __future__ import annotations
+
+from repro.analyze.diagnostics import ERROR, WARNING, Diagnostic
+
+__all__ = ["check_constrained", "constraint_coverage", "determined_wires"]
+
+
+def constraint_coverage(r1cs):
+    """Every wire index referenced by at least one constraint row."""
+    covered = set()
+    for cons in r1cs.constraints:
+        covered |= cons.wires()
+    return covered
+
+
+def determined_wires(circuit):
+    """Propagate determinedness over the witness program.
+
+    Returns ``(determined, hint_outputs)``: the set of wires an honest
+    prover assigns (constant, inputs, and every program-step output), and
+    the subset assigned by hint steps (prover-chosen, not implied by a
+    gate's semantics).
+    """
+    determined = {0}
+    determined.update(circuit.input_wires.values())
+    hint_outputs = set()
+    for step in circuit.program:
+        if step[0] == "mul":
+            determined.add(step[3])
+        else:
+            outs = step[3]
+            hint_outputs.update(outs)
+            determined.update(outs)
+    return determined, hint_outputs
+
+
+def check_constrained(circuit):
+    """Cross-check determined wires against constraint coverage."""
+    r1cs = circuit.r1cs
+    covered = constraint_coverage(r1cs)
+    determined, hint_outputs = determined_wires(circuit)
+    label = r1cs.labels.get
+    diags = []
+
+    output_wires = set(circuit.output_wires.values())
+    for name, w in sorted(circuit.output_wires.items()):
+        if w not in covered:
+            diags.append(Diagnostic(
+                code="ZK201", severity=ERROR, wire=w,
+                message=f"output {name!r} appears in no constraint: the "
+                        f"proof verifies for any claimed value",
+                suggestion="constrain the output (make_wire/assert_equal "
+                           "add the binding gate)",
+            ))
+
+    for w in sorted(hint_outputs - covered - output_wires):
+        diags.append(Diagnostic(
+            code="ZK202", severity=ERROR, wire=w,
+            message=f"hint-computed wire {label(w, w)!r} appears in no "
+                    f"constraint: the prover may assign it freely",
+            suggestion="pin hint outputs down with constraints "
+                       "(e.g. assert_mul), as with circom's <-- operator",
+        ))
+
+    for name, w in sorted(circuit.input_wires.items()):
+        if w not in covered:
+            diags.append(Diagnostic(
+                code="ZK203", severity=WARNING, wire=w,
+                message=f"input {name!r} appears in no constraint: its "
+                        f"value never influences the proof",
+                suggestion="remove the input or constrain it",
+            ))
+
+    for w in sorted(covered - determined):
+        diags.append(Diagnostic(
+            code="ZK204", severity=WARNING, wire=w,
+            message=f"wire {label(w, w)!r} is constrained but never "
+                    f"assigned by the witness program (stays 0)",
+            suggestion="compute the wire (mul/hint) or drop the "
+                       "constraints referencing it",
+        ))
+    return diags

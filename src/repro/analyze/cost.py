@@ -1,0 +1,100 @@
+"""Cost lints (``ZK4xx``) — constraint-system shape vs. prover cost.
+
+The paper's whole measurement pipeline keys off constraint-system shape:
+MSM lengths track the wire count, QAP/NTT work tracks the padded
+constraint count, and the sparse matrix walks track nnz.  These lints use
+the per-primitive costs from :mod:`repro.perf.costmodel` to put cycle
+estimates on shape smells:
+
+- ``ZK401`` — a *dense row*: every nonzero coefficient is one field
+  multiply-accumulate in the setup's column walk and the prover's three
+  QAP evaluations, so a row with hundreds of entries quietly dominates
+  the sparse cost everywhere;
+- ``ZK402`` — constraint-count *blowup* against the caller's expected
+  gadget size (the circom experience: a refactor doubles the constraint
+  count and nobody notices until the prover slows down);
+- ``ZK403`` — *domain waste*: QAP evaluation pads the constraint count to
+  a power of two, so a circuit just past a boundary pays nearly double
+  the NTT work for constraints it does not have.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.diagnostics import INFO, WARNING, Diagnostic
+from repro.perf.costmodel import cost_of
+
+__all__ = ["check_cost"]
+
+#: A row with more nonzeros than ``max(_DENSE_ABS, n_wires * _DENSE_FRAC)``
+#: is reported as dense.  The floor keeps legitimate wide-but-bounded rows
+#: (e.g. a 33-entry bit-recomposition) quiet on small circuits.
+_DENSE_ABS = 64
+_DENSE_FRAC = 0.25
+
+#: Blowup factor over the expected constraint count that trips ZK402 (plus
+#: a small absolute slack so tiny gadgets don't flap).
+_BLOWUP_FACTOR = 2
+_BLOWUP_SLACK = 16
+
+#: Report domain waste only past this domain size and below this fill
+#: ratio (just above a power-of-two boundary).
+_WASTE_MIN_DOMAIN = 64
+_WASTE_MAX_FILL = 0.55
+
+
+def _next_pow2(n):
+    size = 1
+    while size < max(n, 1):
+        size *= 2
+    return size
+
+
+def check_cost(circuit, expected_constraints=None):
+    """Cost lints; *expected_constraints* enables the blowup check."""
+    r1cs = circuit.r1cs
+    fr = r1cs.fr
+    # One sparse entry costs a field mul + add in every column walk.
+    mac_cycles = (cost_of(f"bigint_mul_{fr.limbs}").cycles
+                  + cost_of(f"bigint_add_{fr.limbs}").cycles)
+    diags = []
+
+    threshold = max(_DENSE_ABS, int(r1cs.n_wires * _DENSE_FRAC))
+    for j, cons in enumerate(r1cs.constraints):
+        nnz = len(cons.a) + len(cons.b) + len(cons.c)
+        if nnz > threshold:
+            extra = int((nnz - threshold) * mac_cycles)
+            diags.append(Diagnostic(
+                code="ZK401", severity=WARNING, constraint=j,
+                message=f"dense row: {nnz} nonzeros (> {threshold}); "
+                        f"~{extra} extra cycles per sparse walk",
+                suggestion="split the linear combination across "
+                           "intermediate wires to keep rows sparse",
+            ))
+
+    n = r1cs.n_constraints
+    if expected_constraints is not None:
+        limit = expected_constraints * _BLOWUP_FACTOR + _BLOWUP_SLACK
+        if n > limit:
+            diags.append(Diagnostic(
+                code="ZK402", severity=WARNING,
+                message=f"constraint blowup: {n} constraints vs. "
+                        f"{expected_constraints} expected "
+                        f"(> {_BLOWUP_FACTOR}x + {_BLOWUP_SLACK})",
+                suggestion="audit recent gadget changes; prover NTT/MSM "
+                           "work scales with the padded constraint count",
+            ))
+
+    domain = _next_pow2(n)
+    if domain >= _WASTE_MIN_DOMAIN and n <= domain * _WASTE_MAX_FILL:
+        # Three forward NTTs over the wasted half of the domain.
+        butterflies = 3 * (domain - domain // 2) * max(domain.bit_length() - 1, 1)
+        wasted = int(butterflies * cost_of("ntt_butterfly").cycles)
+        diags.append(Diagnostic(
+            code="ZK403", severity=INFO,
+            message=f"domain waste: {n} constraints pad to a {domain}-point "
+                    f"QAP domain ({n / domain:.0%} full; ~{wasted} NTT "
+                    f"cycles spent on padding)",
+            suggestion=f"{n - domain // 2} fewer constraints would halve "
+                       f"the NTT domain",
+        ))
+    return diags

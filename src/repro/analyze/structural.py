@@ -1,0 +1,91 @@
+"""Structural soundness checks (``ZK1xx``).
+
+These catch malformed constraint systems — the bugs a hand-built or
+programmatically-mangled R1CS exhibits before any semantic question can
+even be asked: wire indices outside the witness vector, coefficients not
+reduced into the field, no-op rows, and stale label maps.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.diagnostics import ERROR, INFO, WARNING, Diagnostic
+
+__all__ = ["check_structure"]
+
+
+def _row_diags(row, side, j, n_wires, modulus):
+    for wire, coeff in row.items():
+        if not isinstance(wire, int) or not 0 <= wire < n_wires:
+            yield Diagnostic(
+                code="ZK101", severity=ERROR, constraint=j,
+                wire=wire if isinstance(wire, int) else None,
+                message=f"{side}-side references wire {wire!r} outside "
+                        f"[0, {n_wires})",
+                suggestion="the witness vector cannot index this wire; "
+                           "rebuild the circuit through CircuitBuilder",
+            )
+        if not isinstance(coeff, int) or not 0 <= coeff < modulus:
+            yield Diagnostic(
+                code="ZK102", severity=ERROR, constraint=j, wire=wire,
+                message=f"{side}-side coefficient {coeff!r} is not reduced "
+                        f"into the scalar field",
+                suggestion="normalize coefficients mod p at construction "
+                           "(compile_circuit does this)",
+            )
+        elif coeff == 0:
+            yield Diagnostic(
+                code="ZK103", severity=WARNING, constraint=j, wire=wire,
+                message=f"{side}-side stores an explicit zero coefficient",
+                suggestion="drop zero entries; they bloat nnz counts and "
+                           "every sparse walk downstream",
+            )
+
+
+def check_structure(circuit):
+    """Structural lints over the R1CS, labels and witness program."""
+    r1cs = circuit.r1cs
+    n = r1cs.n_wires
+    p = r1cs.fr.modulus
+    diags = []
+
+    for j, cons in enumerate(r1cs.constraints):
+        for side, row in (("A", cons.a), ("B", cons.b), ("C", cons.c)):
+            diags.extend(_row_diags(row, side, j, n, p))
+        if not cons.a and not cons.b and not cons.c:
+            diags.append(Diagnostic(
+                code="ZK104", severity=WARNING, constraint=j,
+                message="degenerate constraint: all three rows are empty "
+                        "(checks 0 * 0 == 0)",
+                suggestion="remove the row; the prover pays a QAP domain "
+                           "slot for a vacuous check",
+            ))
+
+    for wire, label in r1cs.labels.items():
+        if not 0 <= wire < n:
+            diags.append(Diagnostic(
+                code="ZK105", severity=INFO, wire=wire,
+                message=f"label {label!r} references wire {wire} outside "
+                        f"[0, {n})",
+                suggestion="stale label map; drop entries when compacting "
+                           "wires",
+            ))
+
+    # The witness program writes and reads wires too: an out-of-range index
+    # here crashes witness generation at run time rather than analysis time.
+    for k, step in enumerate(circuit.program):
+        if step[0] == "mul":
+            _, fa, fb, out = step
+            wires = [w for w, _ in fa[0]] + [w for w, _ in fb[0]] + [out]
+        else:
+            _, _fn, frozen_ins, outs = step
+            wires = [w for fz in frozen_ins for w, _ in fz[0]] + list(outs)
+        for w in wires:
+            if not 0 <= w < n:
+                diags.append(Diagnostic(
+                    code="ZK101", severity=ERROR, wire=w,
+                    message=f"witness program step {k} references wire {w} "
+                            f"outside [0, {n})",
+                    suggestion="the witness stage will crash; recompile "
+                               "instead of editing programs by hand",
+                ))
+    return diags

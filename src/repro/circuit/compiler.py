@@ -11,7 +11,7 @@ are inherently sequential; only per-constraint normalization fans out).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.circuit.r1cs import R1CS, Constraint
 from repro.perf import trace
@@ -85,13 +85,19 @@ class CompiledCircuit:
         return f"CompiledCircuit({self.name}, {self.r1cs!r})"
 
 
-def compile_circuit(builder):
+def compile_circuit(builder, check=False):
     """Lower a :class:`~repro.circuit.dsl.CircuitBuilder` into a
     :class:`CompiledCircuit` (the workflow's *compile* stage).
 
     Pure function of the builder's recorded gates; when a tracer is active
     the stage's characteristic work (traversal, normalization, matrix
     assembly, serialization) is reported region by region.
+
+    With ``check=True`` the compiled circuit is run through the static
+    analyzer (:func:`repro.analyze.analyze`) and a
+    :class:`~repro.analyze.CircuitAnalysisError` is raised on any
+    error-severity diagnostic — e.g. an under-constrained output or an
+    unsatisfiable constant row.
     """
     t = trace.CURRENT
     fr = builder.fr
@@ -101,13 +107,13 @@ def compile_circuit(builder):
             for a, b, c in builder.constraints
         ]
         r1cs = R1CS(fr, builder.n_wires, builder.public_wires, constraints, builder.labels)
-        return CompiledCircuit(
+        return _finish(CompiledCircuit(
             name=builder.name,
             r1cs=r1cs,
             program=list(builder.program),
             input_wires=dict(builder.input_wires),
             output_wires=dict(builder.output_wires),
-        )
+        ), check)
 
     # -- traced path: same result, with the stage's workload made visible ----
     constraints = []
@@ -162,13 +168,25 @@ def compile_circuit(builder):
         t.page_fault(1 + total // 4096)
 
     r1cs = R1CS(fr, builder.n_wires, builder.public_wires, constraints, builder.labels)
-    return CompiledCircuit(
+    return _finish(CompiledCircuit(
         name=builder.name,
         r1cs=r1cs,
         program=list(builder.program),
         input_wires=dict(builder.input_wires),
         output_wires=dict(builder.output_wires),
-    )
+    ), check)
+
+
+def _finish(compiled, check):
+    """Optionally gate the compile on a clean static-analysis report."""
+    if check:
+        # Imported here: repro.analyze is a consumer of this module's types.
+        from repro.analyze import CircuitAnalysisError, analyze
+
+        report = analyze(compiled)
+        if report.has_errors:
+            raise CircuitAnalysisError(report)
+    return compiled
 
 
 def _normalize(fr, row, traced=False):

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analyze.redundancy import DUPLICATE, TAUTOLOGY, UNSATISFIABLE, scan_redundancy
 from repro.circuit.compiler import CompiledCircuit
 from repro.circuit.r1cs import R1CS, Constraint
 
@@ -46,14 +47,6 @@ class OptimizationReport:
                 or self.wires_removed)
 
 
-def _is_constant_row(row):
-    return not row or set(row) == {0}
-
-
-def _row_key(row):
-    return tuple(sorted(row.items()))
-
-
 def optimize(circuit):
     """Return ``(optimized_circuit, report)`` for a
     :class:`~repro.circuit.compiler.CompiledCircuit`."""
@@ -61,25 +54,27 @@ def optimize(circuit):
     fr = r1cs.fr
 
     # -- pass 1+2: drop tautologies and duplicates ---------------------------
+    # Classification is shared with the static analyzer
+    # (repro.analyze.redundancy); this pass only decides what to do with
+    # each classified row.
+    redundant = {}
+    for idx, kind in scan_redundancy(fr, r1cs.constraints):
+        if kind == UNSATISFIABLE:
+            raise ValueError(
+                f"constraint {idx} is constant and violated; "
+                f"the circuit is unsatisfiable"
+            )
+        redundant[idx] = kind
     kept = []
-    seen = set()
     tautologies = duplicates = 0
     for idx, cons in enumerate(r1cs.constraints):
-        if (_is_constant_row(cons.a) and _is_constant_row(cons.b)
-                and _is_constant_row(cons.c)):
-            lhs = fr.mul(cons.a.get(0, 0), cons.b.get(0, 0))
-            if lhs != cons.c.get(0, 0):
-                raise ValueError(
-                    f"constraint {idx} is constant and violated; "
-                    f"the circuit is unsatisfiable"
-                )
+        kind = redundant.get(idx)
+        if kind == TAUTOLOGY:
             tautologies += 1
             continue
-        key = (_row_key(cons.a), _row_key(cons.b), _row_key(cons.c))
-        if key in seen:
+        if kind == DUPLICATE:
             duplicates += 1
             continue
-        seen.add(key)
         kept.append(cons)
 
     # -- pass 3: wire compaction ------------------------------------------------

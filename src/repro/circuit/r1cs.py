@@ -9,7 +9,7 @@ the same shape circom's ``.r1cs`` format uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["R1CS", "Constraint"]
 

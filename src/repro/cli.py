@@ -4,9 +4,12 @@
     python -m repro run fig4 [--sizes 64,128,256] [--curves bn128]
     python -m repro run all --out results/
     python -m repro prove --curve bn128 --exponent 64 --x 3
+    python -m repro lint [--circuit NAME] [--json] [--strict]
 
 ``run`` drives the same experiment reducers the benchmark suite asserts
-against; ``prove`` runs the five-stage protocol once and reports timings.
+against; ``prove`` runs the five-stage protocol once and reports timings;
+``lint`` runs the constraint-system static analyzer (see docs/ANALYZER.md)
+over the built-in circuits and gadgets.
 """
 
 from __future__ import annotations
@@ -41,8 +44,20 @@ def _parse_sizes(text):
     return sizes
 
 
+def _curve_name(text):
+    """Validate one curve name against the registry at parse time, so a
+    typo fails with the available choices instead of a deep KeyError."""
+    from repro.curves import get_curve
+
+    try:
+        get_curve(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
 def _parse_curves(text):
-    return tuple(text.split(","))
+    return tuple(_curve_name(name) for name in text.split(","))
 
 
 def build_parser():
@@ -65,9 +80,29 @@ def build_parser():
                      help="directory to also write rendered artifacts into")
 
     prove = sub.add_parser("prove", help="run the five-stage protocol once")
-    prove.add_argument("--curve", default="bn128")
+    prove.add_argument("--curve", type=_curve_name, default="bn128")
     prove.add_argument("--exponent", type=int, default=64)
     prove.add_argument("--x", type=int, default=3)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze the built-in circuits for soundness and "
+             "cost smells (docs/ANALYZER.md)",
+    )
+    lint.add_argument("--circuit", default=None,
+                      help="analyze only this circuit (default: all built-ins)")
+    lint.add_argument("--curve", type=_curve_name, default="bn128")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit machine-readable diagnostics")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit nonzero on warnings too, not just errors")
+    lint.add_argument("--suppress", default=None, metavar="CODES",
+                      help="comma-separated diagnostic codes to drop "
+                           "(e.g. ZK403,ZK304)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="ignore findings recorded in this baseline file")
+    lint.add_argument("--write-baseline", default=None, metavar="PATH",
+                      help="record current findings as accepted and exit")
     return parser
 
 
@@ -88,6 +123,9 @@ def cmd_list(_args, out=print):
     }
     for name in sorted(ARTIFACTS):
         out(f"{name:9s} | {refs[name]}")
+    out("")
+    out("also: 'repro prove' (one protocol run), "
+        "'repro lint' (circuit static analysis)")
     return 0
 
 
@@ -108,8 +146,6 @@ def cmd_run(args, out=print):
 
 
 def cmd_prove(args, out=print):
-    import random
-
     from repro.curves import get_curve
     from repro.harness.circuits import build_exponentiate
     from repro.workflow import STAGES, Workflow
@@ -125,9 +161,60 @@ def cmd_prove(args, out=print):
     return 0 if wf.accepted else 1
 
 
+def cmd_lint(args, out=print):
+    from repro.analyze import (
+        analyze,
+        load_baseline,
+        render_reports,
+        reports_to_json,
+        write_baseline,
+    )
+    from repro.circuit import compile_circuit
+    from repro.curves import get_curve
+    from repro.harness.circuits import lint_targets
+
+    curve = get_curve(args.curve)
+    targets = lint_targets(curve)
+    if args.circuit is not None:
+        if args.circuit not in targets:
+            out(f"unknown circuit {args.circuit!r}; "
+                f"choose from {', '.join(sorted(targets))}")
+            return 2
+        targets = {args.circuit: targets[args.circuit]}
+
+    suppress = set(args.suppress.split(",")) if args.suppress else set()
+    baseline = load_baseline(args.baseline) if args.baseline else None
+
+    reports = []
+    for name in sorted(targets):
+        builder, _inputs, expected = targets[name]
+        circuit = compile_circuit(builder)
+        reports.append(analyze(
+            circuit,
+            expected_constraints=expected,
+            suppress=suppress,
+            baseline=baseline,
+        ))
+
+    if args.write_baseline:
+        n = write_baseline(args.write_baseline, reports)
+        out(f"wrote {n} fingerprint(s) to {args.write_baseline}")
+        return 0
+
+    if args.as_json:
+        out(reports_to_json(reports))
+    else:
+        out(render_reports(reports))
+    failed = any(
+        r.has_errors or (args.strict and r.warnings()) for r in reports
+    )
+    return 1 if failed else 0
+
+
 def main(argv=None, out=print):
     args = build_parser().parse_args(argv)
-    handler = {"list": cmd_list, "run": cmd_run, "prove": cmd_prove}[args.command]
+    handler = {"list": cmd_list, "run": cmd_run, "prove": cmd_prove,
+               "lint": cmd_lint}[args.command]
     return handler(args, out=out)
 
 

@@ -17,7 +17,7 @@ control-flow share in the paper's Table V comes from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.perf import trace
 

@@ -15,11 +15,13 @@ __all__ = [
     "WORKLOADS",
     "build_dot_product",
     "build_exponentiate",
+    "build_gadget_zoo",
     "build_hash_preimage",
     "build_poseidon_chain",
     "build_range_batch",
     "build_range_proof",
     "build_workload",
+    "lint_targets",
 ]
 
 
@@ -130,6 +132,31 @@ def build_workload(name, curve, size):
     return builder_fn(curve, size)
 
 
+def build_gadget_zoo(curve, n_options=4):
+    """One circuit exercising every gadget in the toolbox.
+
+    Exists for the static analyzer (``repro lint``): a soundness
+    regression in any gadget — a hint left unconstrained, a comparator
+    losing its booleanity checks — shows up here as a diagnostic.
+    """
+    b = CircuitBuilder(f"gadget_zoo_{n_options}", curve.fr)
+    x = b.private_input("x")
+    y = b.private_input("y")
+    idx = b.public_input("idx")
+    eq = gadgets.is_equal(b, x, y)
+    lt = gadgets.less_than(b, x, y, 16)
+    both = gadgets.logical_and(b, eq, lt)
+    either = gadgets.logical_or(b, eq, lt)
+    odd = gadgets.logical_xor(b, eq, lt)
+    picked = gadgets.mux(b, eq, x, y)
+    quot = gadgets.divide(b, x, y + 1)
+    options = [picked + i for i in range(n_options)]
+    chosen = gadgets.select(b, idx, options)
+    digest = gadgets.mimc_hash_chain(b, [chosen, quot, both + either + odd])
+    b.output(digest, "digest")
+    return b, {"x": 37, "y": 41, "idx": n_options - 1}
+
+
 def build_dot_product(curve, length=8, seed=7):
     """Prove a claimed inner product of a private vector with a public one.
 
@@ -146,3 +173,31 @@ def build_dot_product(curve, length=8, seed=7):
         inputs[f"x{i}"] = (seed * (i + 1)) % 97
         inputs[f"w{i}"] = (seed + i) % 89
     return b, inputs
+
+
+#: Sizes used by ``lint_targets`` for the size-parameterized workloads —
+#: small enough to analyze in milliseconds, large enough to be
+#: representative.
+_LINT_SIZES = {"exponentiate": 64, "poseidon": 256, "range": 128}
+
+
+def lint_targets(curve):
+    """Every built-in circuit, instantiated for static analysis.
+
+    Returns ``{name: (builder, inputs, expected_constraints)}`` — the
+    registry ``repro lint`` walks.  ``expected_constraints`` feeds the
+    ZK402 blowup lint where the generator takes a target size (``None``
+    where no expectation exists).
+    """
+    targets = {}
+    for name, size in _LINT_SIZES.items():
+        builder, inputs = build_workload(name, curve, size)
+        targets[name] = (builder, inputs, size)
+    for builder, inputs in (
+        build_hash_preimage(curve),
+        build_range_proof(curve),
+        build_dot_product(curve),
+        build_gadget_zoo(curve),
+    ):
+        targets[builder.name] = (builder, inputs, None)
+    return targets

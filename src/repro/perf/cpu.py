@@ -14,7 +14,7 @@ an estimate consistent with the family's known uop-cache size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["MachineSpec", "I7_8650U", "I5_11400", "I9_13900K", "ALL_CPUS", "get_cpu"]
 

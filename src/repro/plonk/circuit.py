@@ -18,7 +18,7 @@ derive the permutation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Gate", "PlonkCircuit", "CompiledPlonk"]
 
@@ -140,7 +140,6 @@ class PlonkCircuit:
     def check(self, values):
         """Directly check every gate against an assignment (no proof)."""
         fr = self.fr
-        pub = set(self.public_vars)
         for idx, g in enumerate(self.gates):
             a, b, c = values[g.a], values[g.b], values[g.c]
             acc = fr.add(fr.mul(g.ql, a), fr.mul(g.qr, b))
@@ -149,7 +148,6 @@ class PlonkCircuit:
             acc = fr.add(acc, g.qc)
             if acc != 0:
                 return idx
-        del pub
         return None
 
 

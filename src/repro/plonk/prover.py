@@ -144,7 +144,6 @@ def plonk_prove(pre, values, rng):
 
     # -- round 3: quotient on an 8n coset ------------------------------------------
     big = EvaluationDomain(fr, 8 * n)
-    g = big.coset_gen
 
     def _to_coset(coeffs):
         padded = list(coeffs) + [0] * (8 * n - len(coeffs))

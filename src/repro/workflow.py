@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.circuit.compiler import compile_circuit
 from repro.groth16 import generate_witness, prove, public_inputs, setup, verify

@@ -1,7 +1,5 @@
 """Compile-stage tests: lowering correctness and traced-path equivalence."""
 
-import pytest
-
 from repro.circuit import CircuitBuilder, compile_circuit, gadgets
 from repro.fields import BN254_FR
 from repro.perf.trace import Tracer, tracing

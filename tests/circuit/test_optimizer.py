@@ -105,3 +105,49 @@ class TestSemanticEquivalence:
         pk_orig, _ = setup(BN128, circ, rng)
         pk_opt, _ = setup(BN128, opt, random.Random(4))
         assert pk_opt.size_bytes() < pk_orig.size_bytes()
+
+
+class TestHintLiveness:
+    """The fixed-point wire-liveness loop: wires reachable only through
+    chained program steps (hint -> hint/mul -> output) must survive
+    compaction with their transitive inputs intact."""
+
+    def build_chained_hint(self):
+        b = CircuitBuilder("chained_hint", FR)
+        x = b.private_input("x")
+        # m = x^2 via a hint; m appears in NO constraint -- it is live only
+        # because the second hint consumes it.
+        (m,) = b.hint(lambda fr, v: [fr.mul(v[0], v[0])], [x], 1, label="m")
+        # h = m + 1 via a second hint, then forced onto a constrained wire.
+        (h,) = b.hint(lambda fr, v: [fr.add(v[0], 1)], [m], 1, label="h")
+        y = b.identity_gate(h)
+        b.output(y, "y")
+        return b
+
+    def test_transitive_hint_inputs_stay_live(self):
+        circ = compile_circuit(self.build_chained_hint())
+        opt, report = optimize(circ)
+        # The hint chain (x -> m -> h) must survive: nothing is removable.
+        assert report.wires_removed == 0
+        assert len(opt.program) == len(circ.program)
+
+    def test_witness_still_computes_through_the_chain(self):
+        circ = compile_circuit(self.build_chained_hint())
+        opt, _ = optimize(circ)
+        w = generate_witness(opt, {"x": 6})
+        assert opt.r1cs.is_satisfied(w)
+        assert w[opt.output_wires["y"]] == 37  # 6^2 + 1
+
+    def test_orphaned_hint_chain_is_removed_entirely(self):
+        b = CircuitBuilder("orphan_chain", FR)
+        x = b.private_input("x")
+        # A hint chain feeding nothing: both wires are dead.
+        (m,) = b.hint(lambda fr, v: [fr.mul(v[0], v[0])], [x], 1, label="m")
+        b.hint(lambda fr, v: [fr.add(v[0], 1)], [m], 1, label="h")
+        b.output(b.identity_gate(x), "y")
+        circ = compile_circuit(b)
+        opt, report = optimize(circ)
+        assert report.wires_removed == 2
+        assert len(opt.program) == 1  # only the identity gate survives
+        w = generate_witness(opt, {"x": 6})
+        assert opt.r1cs.is_satisfied(w)

@@ -9,7 +9,7 @@ import random
 
 import pytest
 
-from repro.circuit import CircuitBuilder, compile_circuit, gadgets
+from repro.circuit import compile_circuit
 from repro.groth16 import generate_witness, prove, public_inputs, setup, verify
 from tests.conftest import make_pow_circuit
 

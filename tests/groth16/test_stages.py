@@ -9,7 +9,6 @@ from repro.curves import BN128
 from repro.groth16 import generate_witness, prove, public_inputs, setup, verify
 from repro.groth16.witness import WitnessError
 from repro.perf.trace import Tracer, tracing
-from repro.qap import qap_domain
 from tests.conftest import make_pow_circuit
 
 

@@ -6,7 +6,7 @@ from repro.perf.analysis import analyze_stage
 from repro.perf.cpu import ALL_CPUS, get_cpu
 from repro.perf.functions import FUNCTION_DESCRIPTIONS, function_hotspots
 from repro.perf.opcodes import opcode_mix
-from repro.perf.trace import Tracer, tracing
+from repro.perf.trace import Tracer
 
 
 def make_traced_workload():

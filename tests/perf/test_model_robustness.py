@@ -13,7 +13,7 @@ import pytest
 from repro.curves import BN128
 from repro.harness.circuits import build_exponentiate
 from repro.perf.analysis import analyze_stage
-from repro.perf.cpu import I9_13900K, MachineSpec, _profile
+from repro.perf.cpu import MachineSpec, _profile
 from repro.perf.trace import Tracer
 from repro.workflow import STAGES, Workflow
 

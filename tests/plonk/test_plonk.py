@@ -176,7 +176,7 @@ class TestCopyConstraints:
         circ = PlonkCircuit(fr)
         a = circ.new_var()
         # Two gates both referencing variable a: a*a = b and a + a = c.
-        b = circ.mul_gate(a, a)
+        circ.mul_gate(a, a)
         c = circ.add_gate(a, a)
         out = circ.public_input()
         circ.assert_equal(c, out)

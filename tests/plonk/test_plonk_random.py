@@ -8,7 +8,6 @@ interactions no hand-written circuit exercises.
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.curves import BN128

@@ -61,3 +61,34 @@ class TestCommands:
         assert code == 0
         for name in ARTIFACTS:
             assert os.path.exists(tmp_path / f"{name}.txt"), name
+
+
+class TestCurveValidation:
+    """Typos in --curves/--curve fail at parse time with the choices
+    listed, instead of a KeyError deep inside the sweep runner."""
+
+    def test_run_rejects_unknown_curve(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig4", "--curves", "bogus"])
+        err = capsys.readouterr().err
+        assert "unknown curve 'bogus'" in err
+        assert "bn128" in err
+
+    def test_run_rejects_one_bad_curve_in_list(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig4", "--curves", "bn128,nope"])
+
+    def test_prove_rejects_unknown_curve(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["prove", "--curve", "bogus"])
+        assert "unknown curve" in capsys.readouterr().err
+
+    def test_aliases_accepted(self):
+        args = build_parser().parse_args(["run", "fig4", "--curves",
+                                          "bn254,bls12-381"])
+        assert args.curves == ("bn254", "bls12-381")
+
+    def test_lint_rejects_unknown_curve(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--curve", "bogus"])
+        assert "unknown curve" in capsys.readouterr().err
