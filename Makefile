@@ -1,6 +1,11 @@
 # Convenience targets; see README.md.
 
-.PHONY: install test lint bench artifacts slow clean
+.PHONY: install test lint bench artifacts slow clean profile perf-check
+
+# Ledgers for the telemetry targets (override on the command line).
+PROFILE_LEDGER ?= results/runs/profile.jsonl
+BASELINE_LEDGER ?= results/runs/baseline-ci.jsonl
+PERF_THRESHOLD ?= 500
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,6 +26,14 @@ artifacts:
 
 slow:
 	REPRO_SLOW=1 pytest tests/harness/test_large_scale.py
+
+profile:
+	PYTHONPATH=src python -m repro profile --curve bn128 --size 64 \
+		--ledger $(PROFILE_LEDGER)
+
+perf-check:
+	PYTHONPATH=src python -m repro perf-check $(BASELINE_LEDGER) \
+		$(PROFILE_LEDGER) --threshold $(PERF_THRESHOLD) --min-seconds 0.02
 
 clean:
 	rm -rf .repro_cache .pytest_cache .hypothesis results

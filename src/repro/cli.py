@@ -5,11 +5,17 @@
     python -m repro run all --out results/
     python -m repro prove --curve bn128 --exponent 64 --x 3
     python -m repro lint [--circuit NAME] [--json] [--strict]
+    python -m repro profile --curve bn128 --size 64 [--json]
+    python -m repro perf-check BASE.jsonl NEW.jsonl --threshold 10
 
 ``run`` drives the same experiment reducers the benchmark suite asserts
 against; ``prove`` runs the five-stage protocol once and reports timings;
 ``lint`` runs the constraint-system static analyzer (see docs/ANALYZER.md)
-over the built-in circuits and gadgets.
+over the built-in circuits and gadgets; ``profile`` runs the five stages
+under runtime telemetry (spans + metrics, docs/OBSERVABILITY.md) and
+appends a machine-fingerprinted record to the run ledger; ``perf-check``
+diffs two ledgers per (stage, curve, size) and exits non-zero on
+regression — the CI perf gate.
 """
 
 from __future__ import annotations
@@ -17,7 +23,6 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 
 from repro.harness import experiments
 from repro.harness.runner import DEFAULT_SIZES, profile_sweep
@@ -103,6 +108,49 @@ def build_parser():
                       help="ignore findings recorded in this baseline file")
     lint.add_argument("--write-baseline", default=None, metavar="PATH",
                       help="record current findings as accepted and exit")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run the five stages under runtime telemetry and append a "
+             "ledger record (docs/OBSERVABILITY.md)",
+    )
+    profile.add_argument("--curve", type=_curve_name, default="bn128")
+    profile.add_argument("--size", type=int, default=64,
+                         help="constraint count of the workload circuit")
+    profile.add_argument("--workload", default="exponentiate",
+                         help="workload family (repro.harness.circuits.WORKLOADS)")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the full ledger record instead of the "
+                              "span tree + metrics text")
+    profile.add_argument("--ledger", default=None, metavar="PATH",
+                         help="ledger file to append to "
+                              "(default: results/runs/profile.jsonl)")
+    profile.add_argument("--no-ledger", action="store_true",
+                         help="do not append a ledger record")
+    profile.add_argument("--label", default=None,
+                         help="free-form label stored in the record")
+    profile.add_argument("--chrome-trace", default=None, metavar="PATH",
+                         help="also run each stage under a perf tracer and "
+                              "write the merged modeled chrome-trace here")
+    profile.add_argument("--span-trace", default=None, metavar="PATH",
+                         help="write the measured span tree as chrome-trace "
+                              "JSON here")
+
+    check = sub.add_parser(
+        "perf-check",
+        help="diff two run ledgers per (stage, curve, size); exit 1 on "
+             "regression beyond the threshold",
+    )
+    check.add_argument("base", help="baseline ledger (JSONL)")
+    check.add_argument("new", help="candidate ledger (JSONL)")
+    check.add_argument("--threshold", type=float, default=10.0, metavar="PCT",
+                       help="allowed wall-time growth per cell, in percent "
+                            "(default 10)")
+    check.add_argument("--min-seconds", type=float, default=0.001,
+                       help="ignore slowdowns smaller than this many "
+                            "seconds (noise floor, default 0.001)")
+    check.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -125,7 +173,9 @@ def cmd_list(_args, out=print):
         out(f"{name:9s} | {refs[name]}")
     out("")
     out("also: 'repro prove' (one protocol run), "
-        "'repro lint' (circuit static analysis)")
+        "'repro lint' (circuit static analysis),")
+    out("      'repro profile' (runtime telemetry + run ledger), "
+        "'repro perf-check' (ledger diff gate)")
     return 0
 
 
@@ -154,11 +204,96 @@ def cmd_prove(args, out=print):
     builder, inputs = build_exponentiate(curve, args.exponent, x_value=args.x)
     wf = Workflow(curve, builder, inputs, seed=0)
     for stage in STAGES:
-        t0 = time.perf_counter()
-        wf.run_stage(stage)
-        out(f"{stage:10s} {time.perf_counter() - t0:8.3f}s")
+        # The workflow already times each stage (StageResult.elapsed);
+        # report that instead of re-timing around the call.
+        result = wf.run_stage(stage)
+        out(f"{stage:10s} {result.elapsed:8.3f}s")
     out(f"proof: {wf.proof.size_bytes()} bytes; accepted: {wf.accepted}")
     return 0 if wf.accepted else 1
+
+
+def cmd_profile(args, out=print):
+    import json
+
+    from repro.curves import get_curve
+    from repro.harness.circuits import build_workload
+    from repro.obs import ledger, metrics, spans
+    from repro.perf.export import spans_to_chrome_trace, stages_to_chrome_trace
+    from repro.perf.trace import Tracer
+    from repro.workflow import STAGES, Workflow
+
+    curve = get_curve(args.curve)
+    try:
+        builder, inputs = build_workload(args.workload, curve, args.size)
+    except (KeyError, ValueError) as exc:
+        out(f"bad workload cell: {exc}")
+        return 2
+
+    wf = Workflow(curve, builder, inputs, seed=args.seed)
+    registry = metrics.MetricsRegistry()
+    tracers = {}
+    label = f"profile:{args.curve}/{args.size}"
+    with metrics.collecting(registry), spans.recording(label) as rec:
+        for stage in STAGES:
+            # Tracing perturbs wall time, so tracers are attached only when
+            # a modeled chrome-trace was asked for; span wall times then
+            # describe the *traced* run (ledgers stay self-consistent
+            # because the gate compares like against like).
+            tracer = Tracer(label=f"{label}/{stage}") if args.chrome_trace else None
+            wf.run_stage(stage, tracer)
+            if tracer is not None:
+                tracers[stage] = tracer
+    if wf.accepted is not True:
+        out("profiled workflow produced a rejected proof")
+        return 1
+
+    record = ledger.make_record(
+        kind="profile",
+        curve=args.curve,
+        size=args.size,
+        workload=args.workload,
+        seed=args.seed,
+        stages=[wf.results[s].to_record() for s in STAGES],
+        metrics=registry.snapshot(),
+        label=args.label,
+    )
+    if args.chrome_trace:
+        with open(args.chrome_trace, "w") as f:
+            f.write(stages_to_chrome_trace(tracers))
+    if args.span_trace:
+        with open(args.span_trace, "w") as f:
+            f.write(spans_to_chrome_trace(rec.root))
+
+    if args.as_json:
+        out(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        out(spans.render_spans(rec.root))
+        out("")
+        out(registry.render_text())
+    if not args.no_ledger:
+        path = args.ledger or os.path.join(ledger.DEFAULT_DIR, "profile.jsonl")
+        ledger.Ledger(path).append(record)
+        if not args.as_json:
+            out(f"ledger: appended 1 record to {path}")
+    return 0
+
+
+def cmd_perf_check(args, out=print):
+    from repro.obs import ledger
+    from repro.obs.perfcheck import perf_check
+
+    try:
+        base = ledger.read_ledger(args.base)
+        new = ledger.read_ledger(args.new)
+    except OSError as exc:
+        out(f"cannot read ledger: {exc}")
+        return 2
+    report = perf_check(base, new, threshold_pct=args.threshold,
+                        min_seconds=args.min_seconds)
+    out(report.to_json(indent=2) if args.as_json else report.render_text())
+    if not report.deltas:
+        return 2
+    return 1 if report.regressions else 0
 
 
 def cmd_lint(args, out=print):
@@ -214,7 +349,8 @@ def cmd_lint(args, out=print):
 def main(argv=None, out=print):
     args = build_parser().parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "prove": cmd_prove,
-               "lint": cmd_lint}[args.command]
+               "lint": cmd_lint, "profile": cmd_profile,
+               "perf-check": cmd_perf_check}[args.command]
     return handler(args, out=out)
 
 

@@ -10,6 +10,7 @@ multiply produces on x86.
 
 from __future__ import annotations
 
+from repro.obs import metrics
 from repro.perf import trace
 
 __all__ = ["PrimeField", "Fp"]
@@ -102,12 +103,21 @@ class PrimeField:
         return a * a % self.modulus
 
     def inv(self, a):
-        """Return the multiplicative inverse of ``a`` (raises on zero)."""
+        """Return the multiplicative inverse of ``a`` (raises on zero).
+
+        Inversions are the field's expensive, latency-bound operation, so —
+        unlike add/mul, whose per-op counts come only from the tracer — each
+        one is also metered (``repro_field_inv_total``): the guard check is
+        noise next to the extended-gcd ``pow``.
+        """
         if a == 0:
             raise ZeroDivisionError(f"{self.name}: inversion of zero")
         t = trace.CURRENT
         if t is not None:
             t.op(self._inv_tag)
+        m = metrics.CURRENT
+        if m is not None:
+            m.inc("repro_field_inv_total")
         return pow(a, -1, self.modulus)
 
     def div(self, a, b):
@@ -142,6 +152,9 @@ class PrimeField:
         xs = list(xs)
         if not xs:
             return []
+        m = metrics.CURRENT
+        if m is not None:
+            m.observe("repro_field_batch_inv_size", len(xs))
         prefix = [0] * len(xs)
         acc = 1
         for i, x in enumerate(xs):

@@ -24,6 +24,7 @@ term is annihilated by the random ``r_i``).
 from __future__ import annotations
 
 from repro.curves.pairing import PairingEngine
+from repro.obs import metrics
 
 __all__ = ["batch_verify"]
 
@@ -56,6 +57,11 @@ def batch_verify(vk, proofs_with_publics, rng):
     batch is vacuously valid.
     """
     batch = list(proofs_with_publics)
+    m = metrics.CURRENT
+    if m is not None:
+        m.inc("repro_groth16_batch_verify_total")
+        m.observe("repro_groth16_batch_size", len(batch))
+        m.inc("repro_groth16_batch_pairings_total", len(batch) + 3 if batch else 0)
     if not batch:
         return True
     curve = vk.curve

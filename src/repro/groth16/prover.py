@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.groth16.keys import Proof
 from repro.msm.pippenger import msm_pippenger
+from repro.obs import metrics
 from repro.perf import trace
 from repro.poly.domain import EvaluationDomain
 from repro.qap.qap import compute_h
@@ -47,6 +48,10 @@ def prove(pk, circuit, witness, rng):
     fr = curve.fr
     r1cs = circuit.r1cs
     t = trace.CURRENT
+    m = metrics.CURRENT
+    if m is not None:
+        m.inc("repro_groth16_prove_total")
+        m.observe("repro_groth16_prove_constraints", r1cs.n_constraints)
 
     domain = EvaluationDomain(fr, pk.domain_size)
 

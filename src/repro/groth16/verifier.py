@@ -17,6 +17,7 @@ opcodes, Table V).
 from __future__ import annotations
 
 from repro.curves.pairing import PairingEngine
+from repro.obs import metrics
 from repro.perf import trace
 
 __all__ = ["verify"]
@@ -56,6 +57,9 @@ def verify(vk, proof, publics):
         )
     curve = vk.curve
     t = trace.CURRENT
+    m = metrics.CURRENT
+    if m is not None:
+        m.inc("repro_groth16_verify_total")
     eng = _engine(curve)
 
     def _prepare():

@@ -6,9 +6,19 @@ fresh tracer, and reduce every trace to a
 :class:`~repro.perf.analysis.StageProfile`.
 
 Profiles are cached in-process and (by default) on disk under
-``.repro_cache/`` keyed by a fingerprint of the ``repro`` sources, so the
-benchmark suite — one process per table/figure — does not re-trace the same
-cells.  Delete the directory or set ``REPRO_CACHE=0`` to disable.
+``.repro_cache/``.  The cache key is the full workload cell **plus** a
+source fingerprint: ``(curve_name, size, seed, mem_sample, workload,
+sha256-of-every-repro-*.py)``.  Curve *parameters* enter through
+``curve_name`` — the registry in :mod:`repro.curves` is code, so editing a
+parameter set changes the source fingerprint too — and the workload
+generator's shape through ``workload``/``size``.  What the key does *not*
+see: the contents of ``.repro_cache`` itself (stale entries from other
+checkouts are simply never looked up) and non-code environment (CPU,
+Python version) — profiles are deterministic model outputs, so that is
+safe.  Cache traffic is observable: when a metrics registry is active
+(:mod:`repro.obs.metrics`), hits and misses are counted under
+``repro_harness_cache_*`` so stale-cache confusion is diagnosable.
+Delete the directory or set ``REPRO_CACHE=0`` to disable caching.
 """
 
 from __future__ import annotations
@@ -20,6 +30,7 @@ import pickle
 import repro
 from repro.curves import get_curve
 from repro.harness.circuits import build_workload
+from repro.obs import ledger, metrics
 from repro.perf.analysis import analyze_stage
 from repro.perf.trace import Tracer
 from repro.workflow import STAGES, Workflow
@@ -81,7 +92,10 @@ def profile_run(curve_name, size, seed=0, mem_sample=DEFAULT_MEM_SAMPLE,
     ``"exponentiate"``.  Returns ``{stage: StageProfile}``.
     """
     key = (curve_name, size, seed, mem_sample, workload, _source_fingerprint())
+    m = metrics.CURRENT
     if key in _MEMO:
+        if m is not None:
+            m.inc("repro_harness_cache_memo_hits_total")
         return _MEMO[key]
 
     cache_dir = _cache_dir()
@@ -95,10 +109,14 @@ def profile_run(curve_name, size, seed=0, mem_sample=DEFAULT_MEM_SAMPLE,
                 with open(path, "rb") as f:
                     profiles = pickle.load(f)
                 _MEMO[key] = profiles
+                if m is not None:
+                    m.inc("repro_harness_cache_disk_hits_total")
                 return profiles
             except Exception:
                 pass  # stale/corrupt cache entry: recompute below
 
+    if m is not None:
+        m.inc("repro_harness_cache_misses_total")
     curve = get_curve(curve_name)
     builder, inputs = build_workload(workload, curve, size)
     wf = Workflow(curve, builder, inputs, seed=seed)
@@ -113,6 +131,17 @@ def profile_run(curve_name, size, seed=0, mem_sample=DEFAULT_MEM_SAMPLE,
         raise RuntimeError(
             f"profiled workflow produced a rejected proof ({curve_name}, n={size})"
         )
+
+    if ledger.CURRENT is not None:
+        ledger.CURRENT.append(ledger.make_record(
+            kind="profile_run",
+            curve=curve_name,
+            size=size,
+            workload=workload,
+            seed=seed,
+            stages=[wf.results[s].to_record() for s in STAGES],
+            metrics=m.snapshot() if m is not None else None,
+        ))
 
     _MEMO[key] = profiles
     if path is not None:

@@ -17,6 +17,7 @@ Instrumentation notes (what the paper's analyses see):
 
 from __future__ import annotations
 
+from repro.obs import metrics
 from repro.perf import trace
 
 __all__ = ["msm_pippenger", "optimal_window"]
@@ -58,6 +59,12 @@ def msm_pippenger(group, points, scalars, window=None):
     nbits = order.bit_length()
     n_windows = (nbits + c - 1) // c
     mask = (1 << c) - 1
+
+    m = metrics.CURRENT
+    if m is not None:
+        m.inc("repro_msm_pippenger_calls_total")
+        m.inc("repro_msm_windows_total", n_windows)
+        m.observe("repro_msm_points", len(pairs))
 
     t = trace.CURRENT
     if hasattr(group.ops, "fq"):  # G1: affine (x, y) over Fq

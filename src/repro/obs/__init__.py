@@ -1,0 +1,58 @@
+"""Runtime telemetry for the real Python process.
+
+Where :mod:`repro.perf` *models* the paper's observation layer (VTune,
+``perf``, DynamoRIO) on top of traced primitives, this package observes the
+reproduction itself at runtime — actual wall/CPU time, peak-RSS movement and
+GC activity per protocol stage, cheap counters on the hot kernels, and a
+persistent, machine-fingerprinted ledger of runs so results from different
+checkouts and CPUs stay comparable (the discipline behind the paper's
+Table I cross-machine comparisons).
+
+Modules
+-------
+:mod:`repro.obs.spans`
+    Hierarchical span API (``with span("proving"): ...``) recording wall
+    time, CPU time, peak-RSS delta, GC collections, and attached
+    :mod:`repro.perf.trace` counters.
+:mod:`repro.obs.metrics`
+    Process-global metrics registry — counters, gauges, fixed-boundary
+    histograms — that the hot paths (MSM, NTT, field inversions, batch
+    verify) increment behind a ``CURRENT is None`` guard.
+:mod:`repro.obs.fingerprint`
+    Machine fingerprint (CPU model, cores, Python) and git revision.
+:mod:`repro.obs.ledger`
+    Append-only JSONL run ledger under ``results/runs/``.
+:mod:`repro.obs.perfcheck`
+    Diff two ledgers per (stage, curve, size) — the CI perf-regression
+    gate behind ``python -m repro perf-check``.
+
+Every collector in this package is **off by default** and guarded the same
+way the tracer is (module-level ``CURRENT is None``), so untelemetered runs
+pay at most a handful of attribute checks per protocol stage.
+
+See ``docs/OBSERVABILITY.md`` for the span/metric naming scheme and the
+ledger record schema.
+"""
+
+from repro.obs.fingerprint import git_revision, machine_fingerprint
+from repro.obs.ledger import Ledger, make_record, read_ledger, recording_to
+from repro.obs.metrics import MetricsRegistry, collecting
+from repro.obs.perfcheck import perf_check
+from repro.obs.spans import Span, recording, render_spans, span, spanned
+
+__all__ = [
+    "Ledger",
+    "MetricsRegistry",
+    "Span",
+    "collecting",
+    "git_revision",
+    "machine_fingerprint",
+    "make_record",
+    "perf_check",
+    "read_ledger",
+    "recording",
+    "recording_to",
+    "render_spans",
+    "span",
+    "spanned",
+]

@@ -1,0 +1,166 @@
+"""Perf-regression gate: diff two run ledgers per (stage, curve, size).
+
+``perf_check(base, new, threshold_pct)`` indexes each ledger by
+``(workload, curve, size, stage)`` — keeping only the *latest* record per
+cell, so ledgers can accumulate history — and flags every stage whose new
+wall time exceeds the baseline by more than the threshold.  Cells missing
+from either side are reported but do not fail the gate (a widened sweep
+must not break CI); an *empty* intersection does fail it, because a gate
+that compared nothing proves nothing.
+
+Tiny stages are noise-dominated (a 0.8 ms verify jumping to 1.1 ms is a
+37 % "regression" of scheduler jitter), so comparisons also require the
+absolute slowdown to exceed ``min_seconds``.
+
+This is the CLI's ``python -m repro perf-check A B --threshold PCT`` and
+the CI ``perf-smoke`` job's exit criterion.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+__all__ = ["CellDelta", "PerfCheckReport", "perf_check"]
+
+
+@dataclass
+class CellDelta:
+    """One compared (stage, curve, size) cell."""
+
+    workload: str
+    curve: str
+    size: int
+    stage: str
+    base_s: float
+    new_s: float
+    delta_pct: float
+    regressed: bool
+
+    @property
+    def cell(self):
+        return f"{self.workload}/{self.curve}/{self.size}/{self.stage}"
+
+
+@dataclass
+class PerfCheckReport:
+    threshold_pct: float
+    min_seconds: float
+    deltas: list
+    missing_in_new: list
+    missing_in_base: list
+
+    @property
+    def regressions(self):
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self):
+        """True iff something was compared and nothing regressed."""
+        return bool(self.deltas) and not self.regressions
+
+    def render_text(self):
+        lines = [
+            f"perf-check: threshold {self.threshold_pct:+.1f}% "
+            f"(min abs {self.min_seconds * 1e3:.1f} ms), "
+            f"{len(self.deltas)} cell(s) compared",
+        ]
+        for d in sorted(self.deltas, key=lambda d: -d.delta_pct):
+            mark = "REGRESSED" if d.regressed else "ok"
+            lines.append(
+                f"  {mark:9s} {d.cell:<45s} "
+                f"{d.base_s * 1e3:9.2f}ms -> {d.new_s * 1e3:9.2f}ms "
+                f"({d.delta_pct:+7.1f}%)"
+            )
+        for cell in self.missing_in_new:
+            lines.append(f"  missing   {cell:<45s} (in baseline only; skipped)")
+        for cell in self.missing_in_base:
+            lines.append(f"  new       {cell:<45s} (no baseline; skipped)")
+        if not self.deltas:
+            lines.append("  no overlapping cells — nothing compared")
+        else:
+            lines.append(
+                f"result: {len(self.regressions)} regression(s)"
+                if self.regressions else "result: no regressions"
+            )
+        return "\n".join(lines)
+
+    def to_json(self, indent=None):
+        return json.dumps({
+            "threshold_pct": self.threshold_pct,
+            "min_seconds": self.min_seconds,
+            "compared": len(self.deltas),
+            "regressions": len(self.regressions),
+            "deltas": [vars(d) for d in sorted(self.deltas, key=lambda d: d.cell)],
+            "missing_in_new": self.missing_in_new,
+            "missing_in_base": self.missing_in_base,
+        }, indent=indent)
+
+
+def _stage_wall(stage_rec):
+    """Wall seconds of one stage record: the span's measured wall time when
+    present, else the workflow's ``elapsed_s``."""
+    span = stage_rec.get("span")
+    if span and "wall_s" in span:
+        return float(span["wall_s"])
+    return float(stage_rec.get("elapsed_s", 0.0))
+
+
+def _index(records):
+    """Latest wall time per (workload, curve, size, stage) cell."""
+    cells = {}
+    for rec in records:
+        if not rec.get("stages"):
+            continue
+        ts = rec.get("ts", 0)
+        for stage_rec in rec["stages"]:
+            key = (
+                str(rec.get("workload")),
+                str(rec.get("curve")),
+                rec.get("size"),
+                stage_rec.get("stage"),
+            )
+            prev = cells.get(key)
+            if prev is None or ts >= prev[0]:
+                cells[key] = (ts, _stage_wall(stage_rec))
+    return {key: wall for key, (ts, wall) in cells.items()}
+
+
+def _cell_name(key):
+    workload, curve, size, stage = key
+    return f"{workload}/{curve}/{size}/{stage}"
+
+
+def perf_check(base_records, new_records, threshold_pct=10.0, min_seconds=0.001):
+    """Compare two ledgers' record lists; returns a :class:`PerfCheckReport`.
+
+    A cell regresses when ``new > base * (1 + threshold_pct/100)`` **and**
+    ``new - base > min_seconds``.
+    """
+    if threshold_pct < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold_pct}")
+    base = _index(base_records)
+    new = _index(new_records)
+    deltas = []
+    for key in sorted(base.keys() & new.keys(), key=_cell_name):
+        base_s, new_s = base[key], new[key]
+        delta_pct = ((new_s - base_s) / base_s * 100.0) if base_s > 0 else 0.0
+        regressed = (
+            new_s > base_s * (1.0 + threshold_pct / 100.0)
+            and (new_s - base_s) > min_seconds
+        )
+        workload, curve, size, stage = key
+        deltas.append(CellDelta(
+            workload=workload, curve=curve, size=size, stage=stage,
+            base_s=base_s, new_s=new_s, delta_pct=delta_pct,
+            regressed=regressed,
+        ))
+    return PerfCheckReport(
+        threshold_pct=threshold_pct,
+        min_seconds=min_seconds,
+        deltas=deltas,
+        missing_in_new=[_cell_name(k) for k in sorted(base.keys() - new.keys(),
+                                                      key=_cell_name)],
+        missing_in_base=[_cell_name(k) for k in sorted(new.keys() - base.keys(),
+                                                       key=_cell_name)],
+    )

@@ -4,7 +4,10 @@
 Event Format that ``chrome://tracing`` / Perfetto render, with region
 durations taken from the cost model's cycle weights and per-region counter
 annotations — the closest equivalent to opening a VTune recording of the
-stage.  ``counters_to_csv`` dumps the primitive counters for spreadsheet
+stage.  ``stages_to_chrome_trace`` stitches the per-stage documents into
+one (each stage on its own pid track), ``spans_to_chrome_trace`` renders
+a *measured* :mod:`repro.obs.spans` tree on real wall-clock time, and
+``counters_to_csv`` dumps the primitive counters for spreadsheet
 workflows.
 """
 
@@ -14,7 +17,12 @@ import json
 
 from repro.perf.costmodel import aggregate
 
-__all__ = ["to_chrome_trace", "counters_to_csv"]
+__all__ = [
+    "counters_to_csv",
+    "spans_to_chrome_trace",
+    "stages_to_chrome_trace",
+    "to_chrome_trace",
+]
 
 
 def _region_cycles(rec, memo):
@@ -66,6 +74,62 @@ def to_chrome_trace(tracer, freq_ghz=3.0, pid=1):
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {"label": tracer.label, "clock_ticks": tracer.clock},
+    }, indent=1)
+
+
+def stages_to_chrome_trace(stage_tracers, freq_ghz=3.0):
+    """Merge per-stage tracers into one Trace Event document (a string).
+
+    *stage_tracers* maps stage name -> :class:`~repro.perf.trace.Tracer`;
+    each stage is rendered with :func:`to_chrome_trace` and lands on its
+    own ``pid`` track (in mapping order), so the five protocol stages line
+    up side by side in Perfetto.
+    """
+    events = []
+    labels = {}
+    for pid, (stage, tracer) in enumerate(stage_tracers.items(), start=1):
+        doc = json.loads(to_chrome_trace(tracer, freq_ghz=freq_ghz, pid=pid))
+        for ev in doc["traceEvents"]:
+            if ev["name"] == "<root>":
+                ev["name"] = stage
+            events.append(ev)
+        labels[str(pid)] = stage
+    return json.dumps({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"stages": labels},
+    }, indent=1)
+
+
+def spans_to_chrome_trace(root, pid=1):
+    """Render a measured :class:`~repro.obs.spans.Span` tree as Trace Event
+    JSON (a string) — real wall-clock ``ts``/``dur``, unlike the modeled
+    cycle timeline of :func:`to_chrome_trace`."""
+    events = []
+
+    def emit(sp):
+        events.append({
+            "name": sp.name,
+            "ph": "X",
+            "ts": round(sp.start_s * 1e6, 3),
+            "dur": round(max(sp.wall_s * 1e6, 0.001), 3),
+            "pid": pid,
+            "tid": 1,
+            "args": {
+                "cpu_s": round(sp.cpu_s, 6),
+                "rss_peak_delta_kb": sp.rss_peak_delta_kb,
+                "gc_collections": sp.gc_collections,
+                **({"meta": sp.meta} if sp.meta else {}),
+            },
+        })
+        for child in sp.children:
+            emit(child)
+
+    emit(root)
+    return json.dumps({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs.spans", "root": root.name},
     }, indent=1)
 
 

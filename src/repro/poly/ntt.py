@@ -12,6 +12,7 @@ NTT, and the source of the proving stage's bandwidth demand in Table III.
 
 from __future__ import annotations
 
+from repro.obs import metrics
 from repro.perf import trace
 
 __all__ = ["ntt", "intt", "coset_ntt", "coset_intt", "bit_reverse_permute"]
@@ -43,6 +44,13 @@ def _transform(field, values, root, tracer_label):
         raise ValueError(f"NTT length must be a power of two, got {n}")
     if n <= 1:
         return values
+    # One metrics check per transform — amortized over (n/2)·log2(n)
+    # butterflies, so the disabled path stays on the fast branch below.
+    m = metrics.CURRENT
+    if m is not None:
+        m.inc("repro_ntt_transforms_total")
+        m.inc("repro_ntt_butterflies_total", (n >> 1) * (n.bit_length() - 1))
+        m.observe("repro_ntt_size", n)
     r = field.modulus
     t = trace.CURRENT
     base = 0

@@ -15,10 +15,14 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
+from typing import Any, Optional
 
 from repro.circuit.compiler import compile_circuit
 from repro.groth16 import generate_witness, prove, public_inputs, setup, verify
+from repro.obs import ledger, metrics, spans
+from repro.obs.spans import Span
 from repro.perf import trace
+from repro.perf.trace import Tracer
 
 __all__ = ["STAGES", "StageResult", "Workflow"]
 
@@ -28,12 +32,22 @@ STAGES = ("compile", "setup", "witness", "proving", "verifying")
 
 @dataclass
 class StageResult:
-    """Outcome of one stage run: its artifact, wall time, and trace."""
+    """Outcome of one stage run: its artifact, wall time, and telemetry."""
 
     stage: str
-    artifact: object
+    artifact: Any
     elapsed: float
-    tracer: object = None
+    tracer: Optional[Tracer] = None
+    span: Optional[Span] = None
+
+    def to_record(self):
+        """The stage's ledger-record form — the one serialization shared by
+        the workflow, the harness and the obs layer."""
+        return {
+            "stage": self.stage,
+            "elapsed_s": round(self.elapsed, 6),
+            "span": self.span.to_dict() if self.span is not None else None,
+        }
 
 
 class Workflow:
@@ -105,28 +119,61 @@ class Workflow:
 
     # -- drivers -------------------------------------------------------------------
 
+    def _execute(self, impl, tracer):
+        if tracer is None:
+            return impl()
+        with trace.tracing(tracer):
+            return impl()
+
     def run_stage(self, stage, tracer=None):
         """Execute one stage, optionally under *tracer*; returns a
-        :class:`StageResult` (also recorded in :attr:`results`)."""
+        :class:`StageResult` (also recorded in :attr:`results`).
+
+        When a span recorder is active (:func:`repro.obs.spans.recording`)
+        the stage runs under a span named after it, with the tracer's
+        primitive counts attached; otherwise only the plain wall-clock
+        ``elapsed`` is taken, as before.
+        """
         try:
             impl = getattr(self, f"_stage_{stage}")
         except AttributeError:
             raise ValueError(f"unknown stage {stage!r}; expected one of {STAGES}") from None
         start = time.perf_counter()
-        if tracer is None:
-            artifact = impl()
+        if spans.CURRENT is None:
+            artifact = self._execute(impl, tracer)
+            sp = None
         else:
-            with trace.tracing(tracer):
-                artifact = impl()
+            with spans.span(stage, curve=self.curve.name,
+                            circuit=self.builder.name) as sp:
+                artifact = self._execute(impl, tracer)
+                if tracer is not None:
+                    spans.attach_counters(tracer.total_counts())
         elapsed = time.perf_counter() - start
-        result = StageResult(stage=stage, artifact=artifact, elapsed=elapsed, tracer=tracer)
+        result = StageResult(stage=stage, artifact=artifact, elapsed=elapsed,
+                             tracer=tracer, span=sp)
         self.results[stage] = result
         return result
 
     def run_all(self, tracers=None):
         """Run every stage in order.  *tracers* may map stage name ->
-        :class:`~repro.perf.trace.Tracer`.  Returns :attr:`results`."""
+        :class:`~repro.perf.trace.Tracer`.  Returns :attr:`results`.
+
+        When a run ledger is installed (:mod:`repro.obs.ledger`), the
+        completed run appends one record with every stage's
+        :meth:`StageResult.to_record`.
+        """
         tracers = tracers or {}
         for stage in STAGES:
             self.run_stage(stage, tracers.get(stage))
+        if ledger.CURRENT is not None:
+            registry = metrics.CURRENT
+            ledger.CURRENT.append(ledger.make_record(
+                kind="workflow",
+                curve=self.curve.name,
+                size=self.circuit.n_constraints,
+                workload=self.builder.name,
+                seed=self.seed,
+                stages=[self.results[s].to_record() for s in STAGES],
+                metrics=registry.snapshot() if registry is not None else None,
+            ))
         return self.results

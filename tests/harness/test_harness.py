@@ -85,6 +85,39 @@ class TestRunner:
         assert second is not first
         assert second["setup"].instructions == first["setup"].instructions
 
+    def test_cache_traffic_metered(self, tmp_path, monkeypatch):
+        """Memo hits, disk hits and misses are counted when a metrics
+        registry is active, so stale-cache confusion is diagnosable."""
+        from repro.harness import runner
+        from repro.obs import metrics
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        runner._MEMO.clear()
+        with metrics.collecting() as reg:
+            profile_run("bn128", 16)   # cold: miss
+            profile_run("bn128", 16)   # warm: memo hit
+            runner._MEMO.clear()
+            profile_run("bn128", 16)   # memo cleared: disk hit
+        assert reg.counter("repro_harness_cache_misses_total") == 1
+        assert reg.counter("repro_harness_cache_memo_hits_total") == 1
+        assert reg.counter("repro_harness_cache_disk_hits_total") == 1
+
+    def test_profile_run_appends_ledger_record(self, tmp_path, monkeypatch):
+        from repro.harness import runner
+        from repro.obs import ledger
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        path = str(tmp_path / "led.jsonl")
+        runner._MEMO.clear()
+        with ledger.recording_to(path):
+            profile_run("bn128", 16)   # computed: appends
+            profile_run("bn128", 16)   # memo hit: no second record
+        records = ledger.read_ledger(path)
+        assert len(records) == 1
+        assert records[0]["kind"] == "profile_run"
+        assert records[0]["size"] == 16
+        assert [s["stage"] for s in records[0]["stages"]] == list(STAGES)
+
 
 class TestExperimentsOnMiniSweep:
     def test_exec_time_breakdown(self, mini_sweep):

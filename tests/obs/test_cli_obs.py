@@ -1,0 +1,140 @@
+"""CLI tests for the telemetry verbs: ``repro profile`` and
+``repro perf-check``."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs.ledger import read_ledger
+from repro.workflow import STAGES
+
+
+def run_cli(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(str(line) for line in lines)
+
+
+class TestProfileParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.curve == "bn128"
+        assert args.size == 64
+        assert args.workload == "exponentiate"
+
+    def test_rejects_unknown_curve(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--curve", "bogus"])
+
+
+class TestProfileCommand:
+    def test_emits_span_tree_and_one_ledger_record(self, tmp_path):
+        path = str(tmp_path / "led.jsonl")
+        code, out = run_cli(["profile", "--curve", "bn128", "--size", "8",
+                             "--ledger", path])
+        assert code == 0
+        for stage in STAGES:  # the span tree covers all five stages
+            assert stage in out
+        assert "repro_groth16_prove_total 1" in out
+        records = read_ledger(path)
+        assert len(records) == 1
+        rec = records[0]
+        assert rec["kind"] == "profile"
+        assert rec["machine"]["cpu_model"]
+        assert "git" in rec
+        assert [s["stage"] for s in rec["stages"]] == list(STAGES)
+        assert all(s["span"] is not None for s in rec["stages"])
+
+    def test_json_output_is_the_record(self, tmp_path):
+        code, out = run_cli(["profile", "--size", "8", "--json",
+                             "--ledger", str(tmp_path / "led.jsonl")])
+        assert code == 0
+        rec = json.loads(out)
+        assert rec["schema"] == 1
+        assert rec["metrics"]["counters"]["repro_groth16_verify_total"] == 1
+
+    def test_no_ledger_writes_nothing(self, tmp_path):
+        path = tmp_path / "led.jsonl"
+        code, _ = run_cli(["profile", "--size", "8", "--no-ledger",
+                           "--ledger", str(path)])
+        assert code == 0
+        assert not path.exists()
+
+    def test_unknown_workload_is_usage_error(self, tmp_path):
+        code, out = run_cli(["profile", "--size", "8", "--workload", "bogus",
+                             "--no-ledger"])
+        assert code == 2
+        assert "bad workload" in out
+
+    def test_chrome_and_span_traces_written(self, tmp_path):
+        ct = tmp_path / "ct.json"
+        st = tmp_path / "st.json"
+        code, _ = run_cli(["profile", "--size", "8", "--no-ledger",
+                           "--chrome-trace", str(ct), "--span-trace", str(st)])
+        assert code == 0
+        modeled = json.loads(ct.read_text())
+        assert sorted(modeled["otherData"]["stages"].values()) == sorted(STAGES)
+        measured = json.loads(st.read_text())
+        names = [e["name"] for e in measured["traceEvents"]]
+        for stage in STAGES:
+            assert stage in names
+
+
+class TestPerfCheckCommand:
+    def write_ledger(self, path, wall):
+        from tests.obs.test_perfcheck import record
+        with open(path, "w") as f:
+            f.write(json.dumps(record({"proving": wall})) + "\n")
+
+    def test_pass_exit_zero(self, tmp_path):
+        a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        self.write_ledger(a, 1.0)
+        self.write_ledger(b, 1.05)
+        code, out = run_cli(["perf-check", a, b, "--threshold", "10"])
+        assert code == 0
+        assert "no regressions" in out
+
+    def test_regression_exit_one(self, tmp_path):
+        a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        self.write_ledger(a, 1.0)
+        self.write_ledger(b, 2.0)
+        code, out = run_cli(["perf-check", a, b, "--threshold", "10"])
+        assert code == 1
+        assert "REGRESSED" in out
+
+    def test_missing_file_exit_two(self, tmp_path):
+        a = str(tmp_path / "a.jsonl")
+        self.write_ledger(a, 1.0)
+        code, out = run_cli(["perf-check", a, str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "cannot read" in out
+
+    def test_no_overlap_exit_two(self, tmp_path):
+        a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        self.write_ledger(a, 1.0)
+        with open(b, "w") as f:
+            f.write(json.dumps({"kind": "profile", "stages": [],
+                                "curve": "other", "size": 1,
+                                "workload": "w", "ts": 1}) + "\n")
+        code, out = run_cli(["perf-check", a, b])
+        assert code == 2
+        assert "nothing compared" in out
+
+    def test_json_output(self, tmp_path):
+        a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        self.write_ledger(a, 1.0)
+        self.write_ledger(b, 1.0)
+        code, out = run_cli(["perf-check", a, b, "--json"])
+        assert code == 0
+        assert json.loads(out)["compared"] == 1
+
+    def test_end_to_end_with_real_profiles(self, tmp_path):
+        """Two real profile runs of the same cell pass a generous gate."""
+        a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        assert run_cli(["profile", "--size", "8", "--ledger", a])[0] == 0
+        assert run_cli(["profile", "--size", "8", "--ledger", b])[0] == 0
+        code, out = run_cli(["perf-check", a, b, "--threshold", "500",
+                             "--min-seconds", "0.05"])
+        assert code == 0
+        assert "5 cell(s) compared" in out

@@ -1,0 +1,124 @@
+"""Ledger and fingerprint tests: record schema, JSONL round-trip,
+robustness to corrupt lines, and the opt-in global slot."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import fingerprint, ledger
+from repro.obs.ledger import (
+    Ledger,
+    make_record,
+    read_ledger,
+    recording_to,
+)
+
+
+class TestFingerprint:
+    def test_fields_mirror_table1(self):
+        fp = fingerprint.machine_fingerprint()
+        for key in ("cpu_model", "cores", "python", "implementation",
+                    "system", "machine", "hostname"):
+            assert key in fp, key
+        assert fp["cores"] >= 1
+        assert fp["cpu_model"]
+
+    def test_fingerprint_id_stable(self):
+        fp = fingerprint.machine_fingerprint()
+        assert fingerprint.fingerprint_id(fp) == fingerprint.fingerprint_id(fp)
+        assert len(fingerprint.fingerprint_id(fp)) == 12
+
+    def test_git_revision_in_repo(self):
+        rev = fingerprint.git_revision()
+        # This test tree is a git checkout; elsewhere None is acceptable.
+        if rev is not None:
+            assert len(rev["rev"]) == 40
+            assert isinstance(rev["dirty"], bool)
+
+    def test_git_revision_outside_repo(self, tmp_path):
+        assert fingerprint.git_revision(cwd=str(tmp_path)) is None
+
+
+class TestMakeRecord:
+    def test_schema_v1_shape(self):
+        rec = make_record(
+            kind="profile", curve="bn128", size=64, workload="exponentiate",
+            seed=0, stages=[{"stage": "compile", "elapsed_s": 0.01, "span": None}],
+            metrics={"counters": {}}, label="unit",
+        )
+        assert rec["schema"] == 1
+        assert rec["kind"] == "profile"
+        assert rec["machine_id"] == fingerprint.fingerprint_id(rec["machine"])
+        assert rec["ts"] > 0
+        assert rec["stages"][0]["stage"] == "compile"
+        assert rec["label"] == "unit"
+        json.dumps(rec)  # must be JSON-serializable as-is
+
+
+class TestLedgerFile:
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "runs" / "led.jsonl"  # parent dir created lazily
+        led = Ledger(str(path))
+        for i in range(3):
+            led.append({"schema": 1, "i": i})
+        records = read_ledger(str(path))
+        assert [r["i"] for r in records] == [0, 1, 2]
+        assert led.read() == records
+
+    def test_corrupt_lines_skipped(self, tmp_path):
+        path = tmp_path / "led.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n\n[1,2]\n{"ok": 2}\n')
+        records = read_ledger(str(path))
+        assert [r["ok"] for r in records] == [1, 2]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            read_ledger(str(tmp_path / "nope.jsonl"))
+
+
+class TestGlobalSlot:
+    def test_off_by_default(self):
+        assert ledger.CURRENT is None
+
+    def test_recording_to_installs_and_restores(self, tmp_path):
+        path = str(tmp_path / "led.jsonl")
+        with recording_to(path) as led:
+            assert ledger.CURRENT is led
+            led.append({"x": 1})
+        assert ledger.CURRENT is None
+        assert read_ledger(path) == [{"x": 1}]
+
+    def test_double_install_rejected(self, tmp_path):
+        with recording_to(str(tmp_path / "a.jsonl")):
+            with pytest.raises(RuntimeError, match="already active"):
+                ledger.install(str(tmp_path / "b.jsonl"))
+        assert ledger.CURRENT is None
+
+    def test_env_var_activates_recording(self, tmp_path):
+        """REPRO_LEDGER=<path> makes a fresh process append workflow runs."""
+        import os
+
+        import repro
+
+        path = tmp_path / "env.jsonl"
+        code = (
+            "from repro.curves import BN128\n"
+            "from repro.harness.circuits import build_exponentiate\n"
+            "from repro.workflow import Workflow\n"
+            "b, inputs = build_exponentiate(BN128, 4)\n"
+            "Workflow(BN128, b, inputs).run_all()\n"
+        )
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["REPRO_LEDGER"] = str(path)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        subprocess.run([sys.executable, "-c", code], check=True, env=env,
+                       timeout=120)
+        records = read_ledger(str(path))
+        assert len(records) == 1
+        assert records[0]["kind"] == "workflow"
+        assert records[0]["size"] == 4
+        assert [s["stage"] for s in records[0]["stages"]] == [
+            "compile", "setup", "witness", "proving", "verifying"]

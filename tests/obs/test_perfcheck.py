@@ -1,0 +1,124 @@
+"""Perf-gate tests: cell indexing, threshold semantics, the noise floor,
+missing-cell handling, and the renderings."""
+
+import json
+
+import pytest
+
+from repro.obs.perfcheck import perf_check
+
+
+def record(stage_walls, curve="bn128", size=64, workload="exponentiate",
+           ts=1.0, spans=False):
+    """One ledger record with the given {stage: wall_s} timings."""
+    stages = []
+    for stage, wall in stage_walls.items():
+        if spans:
+            stages.append({"stage": stage, "elapsed_s": wall * 2,
+                           "span": {"wall_s": wall}})
+        else:
+            stages.append({"stage": stage, "elapsed_s": wall, "span": None})
+    return {"schema": 1, "kind": "profile", "ts": ts, "curve": curve,
+            "size": size, "workload": workload, "stages": stages}
+
+
+class TestThreshold:
+    def test_within_threshold_passes(self):
+        rep = perf_check([record({"proving": 1.0})],
+                         [record({"proving": 1.05})], threshold_pct=10)
+        assert rep.ok
+        assert rep.deltas[0].delta_pct == pytest.approx(5.0)
+
+    def test_beyond_threshold_regresses(self):
+        rep = perf_check([record({"proving": 1.0})],
+                         [record({"proving": 1.2})], threshold_pct=10)
+        assert not rep.ok
+        assert [d.stage for d in rep.regressions] == ["proving"]
+
+    def test_exactly_at_threshold_passes(self):
+        rep = perf_check([record({"proving": 1.0})],
+                         [record({"proving": 1.1})], threshold_pct=10)
+        assert rep.ok
+
+    def test_improvement_passes(self):
+        rep = perf_check([record({"proving": 1.0})],
+                         [record({"proving": 0.5})], threshold_pct=10)
+        assert rep.ok
+        assert rep.deltas[0].delta_pct == pytest.approx(-50.0)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            perf_check([], [], threshold_pct=-1)
+
+
+class TestNoiseFloor:
+    def test_tiny_absolute_slowdowns_ignored(self):
+        # +100% but only +0.4 ms: under the 1 ms default floor.
+        rep = perf_check([record({"verifying": 0.0004})],
+                         [record({"verifying": 0.0008})], threshold_pct=10)
+        assert rep.ok
+
+    def test_floor_configurable(self):
+        rep = perf_check([record({"verifying": 0.0004})],
+                         [record({"verifying": 0.0008})],
+                         threshold_pct=10, min_seconds=0.0)
+        assert not rep.ok
+
+
+class TestIndexing:
+    def test_latest_record_per_cell_wins(self):
+        base = [record({"proving": 5.0}, ts=1), record({"proving": 1.0}, ts=2)]
+        rep = perf_check(base, [record({"proving": 1.05})], threshold_pct=10)
+        assert rep.ok
+        assert rep.deltas[0].base_s == 1.0
+
+    def test_span_wall_preferred_over_elapsed(self):
+        rep = perf_check([record({"proving": 1.0}, spans=True)],
+                         [record({"proving": 1.0}, spans=True)])
+        assert rep.deltas[0].base_s == 1.0  # wall_s, not the 2.0 elapsed_s
+
+    def test_cells_keyed_by_workload_curve_size_stage(self):
+        base = [record({"proving": 1.0}, curve="bn128", size=64)]
+        new = [record({"proving": 9.0}, curve="bls12_381", size=64),
+               record({"proving": 9.0}, curve="bn128", size=128),
+               record({"proving": 1.0}, curve="bn128", size=64)]
+        rep = perf_check(base, new, threshold_pct=10)
+        assert len(rep.deltas) == 1
+        assert rep.ok
+        assert len(rep.missing_in_base) == 2
+
+    def test_records_without_stages_skipped(self):
+        rep = perf_check([{"kind": "x"}], [{"kind": "y"}])
+        assert not rep.deltas
+        assert not rep.ok  # nothing compared -> gate cannot pass
+
+
+class TestMissingCells:
+    def test_missing_cells_reported_not_failed(self):
+        base = [record({"proving": 1.0, "setup": 1.0})]
+        new = [record({"proving": 1.0, "witness": 1.0})]
+        rep = perf_check(base, new, threshold_pct=10)
+        assert rep.ok
+        assert rep.missing_in_new == ["exponentiate/bn128/64/setup"]
+        assert rep.missing_in_base == ["exponentiate/bn128/64/witness"]
+
+
+class TestRendering:
+    def make(self):
+        return perf_check([record({"proving": 1.0, "setup": 0.5})],
+                          [record({"proving": 1.5, "setup": 0.5})],
+                          threshold_pct=10)
+
+    def test_text(self):
+        text = self.make().render_text()
+        assert "REGRESSED" in text
+        assert "exponentiate/bn128/64/proving" in text
+        assert "+50.0%" in text
+        assert "1 regression(s)" in text
+
+    def test_json(self):
+        doc = json.loads(self.make().to_json())
+        assert doc["compared"] == 2
+        assert doc["regressions"] == 1
+        regressed = [d for d in doc["deltas"] if d["regressed"]]
+        assert regressed[0]["stage"] == "proving"

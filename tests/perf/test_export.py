@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.perf.export import counters_to_csv, to_chrome_trace
+from repro.perf.export import (
+    counters_to_csv,
+    spans_to_chrome_trace,
+    stages_to_chrome_trace,
+    to_chrome_trace,
+)
 from repro.perf.trace import Tracer
 
 
@@ -50,6 +55,71 @@ class TestChromeTrace:
         s = next(e for e in slow["traceEvents"] if e["name"] == "outer")["dur"]
         f = next(e for e in fast["traceEvents"] if e["name"] == "outer")["dur"]
         assert s == pytest.approx(4 * f, rel=0.05)
+
+    def test_pid_tid_fields(self, tracer):
+        doc = json.loads(to_chrome_trace(tracer, pid=7))
+        for e in doc["traceEvents"]:
+            assert e["pid"] == 7
+            assert e["tid"] == 1
+
+    def test_ts_monotone_across_siblings(self):
+        t = Tracer()
+        for name in ("a", "b", "c"):
+            with t.region(name):
+                t.op("bigint_mul_4", 10)
+        doc = json.loads(to_chrome_trace(t))
+        by_name = {e["name"]: e for e in doc["traceEvents"]}
+        # Siblings are laid out sequentially: each starts at or after the
+        # previous one's end, and ts never decreases in emit order.
+        assert by_name["b"]["ts"] >= by_name["a"]["ts"] + by_name["a"]["dur"] - 0.01
+        assert by_name["c"]["ts"] >= by_name["b"]["ts"] + by_name["b"]["dur"] - 0.01
+        ts_in_order = [e["ts"] for e in doc["traceEvents"]]
+        assert ts_in_order == sorted(ts_in_order)
+
+    def test_durations_cover_children(self, tracer):
+        doc = json.loads(to_chrome_trace(tracer))
+        by_name = {e["name"]: e for e in doc["traceEvents"]}
+        assert by_name["outer"]["dur"] >= by_name["inner"]["dur"]
+
+
+class TestStagesChromeTrace:
+    def test_each_stage_on_own_pid(self):
+        tracers = {}
+        for stage in ("setup", "proving"):
+            t = Tracer(label=stage)
+            t.op("bigint_mul_4", 5)
+            with t.region(f"{stage}_inner"):
+                t.op("bigint_add_4", 2)
+            tracers[stage] = t
+        doc = json.loads(stages_to_chrome_trace(tracers))
+        assert doc["otherData"]["stages"] == {"1": "setup", "2": "proving"}
+        pids = {e["name"]: e["pid"] for e in doc["traceEvents"]}
+        # The per-stage root is renamed from <root> to the stage name.
+        assert pids["setup"] == 1
+        assert pids["proving"] == 2
+        assert pids["proving_inner"] == 2
+        assert "<root>" not in pids
+
+
+class TestSpansChromeTrace:
+    def test_measured_spans_render(self):
+        from repro.obs.spans import recording, span
+
+        with recording("run") as rec:
+            with span("compile"):
+                pass
+            with span("proving"):
+                sum(range(10_000))
+        doc = json.loads(spans_to_chrome_trace(rec.root))
+        events = {e["name"]: e for e in doc["traceEvents"]}
+        assert set(events) == {"run", "compile", "proving"}
+        for e in doc["traceEvents"]:
+            assert e["ph"] == "X" and e["dur"] > 0
+            assert "cpu_s" in e["args"]
+        # Real timeline: proving starts after compile ends.
+        assert (events["proving"]["ts"]
+                >= events["compile"]["ts"] + events["compile"]["dur"] - 1.0)
+        assert doc["otherData"]["root"] == "run"
 
 
 class TestCsv:

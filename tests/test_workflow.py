@@ -4,6 +4,7 @@ import pytest
 
 from repro.curves import BN128
 from repro.harness.circuits import build_exponentiate
+from repro.obs import ledger, metrics, spans
 from repro.perf.trace import Tracer
 from repro.workflow import STAGES, Workflow
 
@@ -97,3 +98,64 @@ class TestTracedRuns:
         res = wf.run_stage("compile", tr)
         assert res.tracer is tr
         assert wf.results["compile"] is res
+
+
+class TestTelemetry:
+    def test_to_record_shape(self):
+        wf = make_workflow()
+        rec = wf.run_stage("compile").to_record()
+        assert rec == {"stage": "compile",
+                       "elapsed_s": pytest.approx(wf.results["compile"].elapsed,
+                                                  abs=1e-6),
+                       "span": None}
+
+    def test_untelemetered_run_records_no_span(self):
+        wf = make_workflow()
+        wf.run_all()
+        assert all(r.span is None for r in wf.results.values())
+
+    def test_stage_spans_recorded_with_counters(self):
+        wf = make_workflow()
+        with spans.recording("wf") as rec:
+            wf.run_all({stage: Tracer() for stage in STAGES})
+        assert [sp.name for sp in rec.root.children] == list(STAGES)
+        proving = wf.results["proving"].span
+        assert proving is rec.root.children[3]
+        assert proving.wall_s > 0
+        assert proving.meta == {"curve": "bn128", "circuit": wf.builder.name}
+        # Tracer primitive counts are attached to the span.
+        assert any(k.startswith("bigint_") for k in proving.counters)
+        assert proving.to_dict() == wf.results["proving"].to_record()["span"]
+
+    def test_run_all_appends_one_ledger_record(self, tmp_path):
+        path = str(tmp_path / "led.jsonl")
+        wf = make_workflow()
+        with ledger.recording_to(path):
+            wf.run_all()
+        records = ledger.read_ledger(path)
+        assert len(records) == 1
+        rec = records[0]
+        assert rec["kind"] == "workflow"
+        assert rec["curve"] == "bn128"
+        assert rec["size"] == 8
+        assert rec["seed"] == 0
+        assert [s["stage"] for s in rec["stages"]] == list(STAGES)
+        assert rec["metrics"] is None  # no registry was active
+
+    def test_ledger_record_carries_metrics_snapshot(self, tmp_path):
+        path = str(tmp_path / "led.jsonl")
+        wf = make_workflow()
+        with ledger.recording_to(path), metrics.collecting():
+            wf.run_all()
+        (rec,) = ledger.read_ledger(path)
+        assert rec["metrics"]["counters"]["repro_groth16_prove_total"] == 1
+        assert rec["metrics"]["counters"]["repro_groth16_verify_total"] == 1
+        assert rec["metrics"]["counters"]["repro_msm_pippenger_calls_total"] >= 4
+
+    def test_run_stage_alone_does_not_append(self, tmp_path):
+        path = str(tmp_path / "led.jsonl")
+        wf = make_workflow()
+        with ledger.recording_to(path):
+            wf.run_stage("compile")
+        with pytest.raises(OSError):
+            ledger.read_ledger(path)
