@@ -1,6 +1,9 @@
 # Convenience targets; see README.md.
 
-.PHONY: install test lint bench artifacts slow clean profile perf-check
+.PHONY: install test lint bench artifacts slow clean profile perf-check chaos
+
+# Seeds for the chaos smoke (override: make chaos CHAOS_SEEDS="0 7 42").
+CHAOS_SEEDS ?= 0 1 2 3
 
 # Ledgers for the telemetry targets (override on the command line).
 PROFILE_LEDGER ?= results/runs/profile.jsonl
@@ -34,6 +37,13 @@ profile:
 perf-check:
 	PYTHONPATH=src python -m repro perf-check $(BASELINE_LEDGER) \
 		$(PROFILE_LEDGER) --threshold $(PERF_THRESHOLD) --min-seconds 0.02
+
+chaos:
+	@for seed in $(CHAOS_SEEDS); do \
+		PYTHONPATH=src python -m repro chaos --seed $$seed --faults 4 \
+			--size 32 || exit 1; \
+	done
+	PYTHONPATH=src pytest -x -q tests/resilience
 
 clean:
 	rm -rf .repro_cache .pytest_cache .hypothesis results

@@ -3,19 +3,30 @@
     python -m repro list
     python -m repro run fig4 [--sizes 64,128,256] [--curves bn128]
     python -m repro run all --out results/
-    python -m repro prove --curve bn128 --exponent 64 --x 3
+    python -m repro prove --curve bn128 --exponent 64 --x 3 [--out DIR]
+    python -m repro verify DIR
     python -m repro lint [--circuit NAME] [--json] [--strict]
     python -m repro profile --curve bn128 --size 64 [--json]
     python -m repro perf-check BASE.jsonl NEW.jsonl --threshold 10
+    python -m repro sweep [--resume] [--sizes ...] [--curves ...]
+    python -m repro chaos --seed 0 --faults 4
 
 ``run`` drives the same experiment reducers the benchmark suite asserts
-against; ``prove`` runs the five-stage protocol once and reports timings;
-``lint`` runs the constraint-system static analyzer (see docs/ANALYZER.md)
-over the built-in circuits and gadgets; ``profile`` runs the five stages
-under runtime telemetry (spans + metrics, docs/OBSERVABILITY.md) and
-appends a machine-fingerprinted record to the run ledger; ``perf-check``
-diffs two ledgers per (stage, curve, size) and exits non-zero on
-regression — the CI perf gate.
+against; ``prove`` runs the five-stage protocol once and reports timings
+(``--out`` also serializes proof/vk/publics); ``verify`` checks such saved
+artifacts, rejecting corrupted blobs with a typed error; ``lint`` runs the
+constraint-system static analyzer (see docs/ANALYZER.md) over the built-in
+circuits and gadgets; ``profile`` runs the five stages under runtime
+telemetry (spans + metrics, docs/OBSERVABILITY.md) and appends a
+machine-fingerprinted record to the run ledger; ``perf-check`` diffs two
+ledgers per (stage, curve, size) and exits non-zero on regression — the CI
+perf gate; ``sweep`` runs the profiling sweep with per-cell checkpoints so
+a killed run resumes (docs/ROBUSTNESS.md); ``chaos`` replays a seeded
+fault schedule through the pipeline and reports recovery outcomes.
+
+Every verb exits **2** with a one-line ``error[<code>]: ...`` message —
+never a traceback — on bad input or corrupted artifacts
+(:mod:`repro.resilience.errors`).
 """
 
 from __future__ import annotations
@@ -65,6 +76,13 @@ def _parse_curves(text):
     return tuple(_curve_name(name) for name in text.split(","))
 
 
+def _positive_int(text):
+    n = int(text)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
+    return n
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -88,6 +106,17 @@ def build_parser():
     prove.add_argument("--curve", type=_curve_name, default="bn128")
     prove.add_argument("--exponent", type=int, default=64)
     prove.add_argument("--x", type=int, default=3)
+    prove.add_argument("--out", default=None, metavar="DIR",
+                       help="also serialize proof.bin / vk.bin / "
+                            "publics.json into DIR (for 'repro verify')")
+
+    verify_p = sub.add_parser(
+        "verify",
+        help="verify artifacts saved by 'repro prove --out'; corrupted "
+             "blobs fail with a typed error, exit 2",
+    )
+    verify_p.add_argument("dir", help="directory with proof.bin / vk.bin / "
+                                      "publics.json")
 
     lint = sub.add_parser(
         "lint",
@@ -151,6 +180,41 @@ def build_parser():
                        help="ignore slowdowns smaller than this many "
                             "seconds (noise floor, default 0.001)")
     check.add_argument("--json", action="store_true", dest="as_json")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run the profiling sweep with per-cell checkpoints under "
+             "results/checkpoints/ (docs/ROBUSTNESS.md)",
+    )
+    sweep.add_argument("--curves", type=_parse_curves,
+                       default=("bn128", "bls12_381"))
+    sweep.add_argument("--sizes", type=_parse_sizes, default=DEFAULT_SIZES,
+                       help="comma-separated constraint counts")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--workload", default="exponentiate",
+                       help="workload family (repro.harness.circuits.WORKLOADS)")
+    sweep.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="checkpoint base directory "
+                            "(default: results/checkpoints)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="load previously checkpointed cells instead of "
+                            "recomputing them")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the pipeline under a seeded fault schedule and report "
+             "recovery outcomes (docs/ROBUSTNESS.md)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--faults", type=_positive_int, default=4,
+                       help="number of faults in the schedule (default 4)")
+    chaos.add_argument("--curve", type=_curve_name, default="bn128")
+    chaos.add_argument("--size", type=int, default=32,
+                       help="constraint count of the workload circuit")
+    chaos.add_argument("--workload", default="exponentiate")
+    chaos.add_argument("--max-attempts", type=_positive_int, default=3,
+                       help="retry budget per stage (default 3)")
+    chaos.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -209,7 +273,51 @@ def cmd_prove(args, out=print):
         result = wf.run_stage(stage)
         out(f"{stage:10s} {result.elapsed:8.3f}s")
     out(f"proof: {wf.proof.size_bytes()} bytes; accepted: {wf.accepted}")
+    if args.out and wf.accepted:
+        import json
+
+        from repro.groth16 import public_inputs
+        from repro.groth16.serialize import proof_to_bytes, vk_to_bytes
+
+        os.makedirs(args.out, exist_ok=True)
+        with open(os.path.join(args.out, "proof.bin"), "wb") as f:
+            f.write(proof_to_bytes(wf.proof))
+        with open(os.path.join(args.out, "vk.bin"), "wb") as f:
+            f.write(vk_to_bytes(wf.vk))
+        with open(os.path.join(args.out, "publics.json"), "w") as f:
+            json.dump(public_inputs(wf.circuit, wf.witness), f)
+            f.write("\n")
+        out(f"artifacts: proof.bin vk.bin publics.json written to {args.out}")
     return 0 if wf.accepted else 1
+
+
+def cmd_verify(args, out=print):
+    import json
+
+    from repro.groth16.serialize import proof_from_bytes, vk_from_bytes
+    from repro.groth16.verifier import verify
+    from repro.resilience.errors import ArtifactCorruption
+
+    def _read(name, mode="rb"):
+        with open(os.path.join(args.dir, name), mode) as f:
+            return f.read()
+
+    proof = proof_from_bytes(_read("proof.bin"))
+    vk = vk_from_bytes(_read("vk.bin"))
+    try:
+        publics = json.loads(_read("publics.json", "r"))
+    except ValueError as exc:
+        raise ArtifactCorruption(
+            f"unparseable publics.json: {exc}", artifact="publics",
+        ) from exc
+    if (not isinstance(publics, list)
+            or not all(isinstance(v, int) for v in publics)):
+        raise ArtifactCorruption(
+            "publics.json must be a list of integers", artifact="publics",
+        )
+    accepted = verify(vk, proof, publics)
+    out(f"accepted: {accepted}")
+    return 0 if accepted else 1
 
 
 def cmd_profile(args, out=print):
@@ -296,6 +404,39 @@ def cmd_perf_check(args, out=print):
     return 1 if report.regressions else 0
 
 
+def cmd_sweep(args, out=print):
+    from repro.resilience.checkpoint import DEFAULT_DIR as CKPT_DIR
+
+    base = args.checkpoint_dir or CKPT_DIR
+    out(f"checkpointed sweep: curves={args.curves} sizes={args.sizes} "
+        f"workload={args.workload} seed={args.seed}"
+        + (" (resuming)" if args.resume else ""))
+    sweep = profile_sweep(
+        curve_names=args.curves, sizes=args.sizes, seed=args.seed,
+        workload=args.workload, checkpoint=base, resume=args.resume,
+    )
+    for (curve_name, size), profiles in sorted(sweep.items()):
+        total = sum(p.elapsed for p in profiles.values())
+        out(f"  {curve_name:10s} n={size:<8d} {total:8.3f}s "
+            f"(proving {profiles['proving'].elapsed:.3f}s)")
+    out(f"{len(sweep)} cell(s) done; checkpoints under {base}")
+    return 0
+
+
+def cmd_chaos(args, out=print):
+    from repro.resilience.chaos import run_chaos
+
+    report = run_chaos(
+        seed=args.seed, n_faults=args.faults, curve=args.curve,
+        size=args.size, workload=args.workload,
+        max_attempts=args.max_attempts,
+    )
+    out(report.to_json(indent=2) if args.as_json else report.render_text())
+    # 0: the resilience contract held (recovered, or failed *typed*);
+    # 1: a bare exception escaped or the proof was silently rejected.
+    return 0 if report.acceptable else 1
+
+
 def cmd_lint(args, out=print):
     from repro.analyze import (
         analyze,
@@ -347,11 +488,25 @@ def cmd_lint(args, out=print):
 
 
 def main(argv=None, out=print):
+    from repro.resilience.errors import ReproError
+
     args = build_parser().parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "prove": cmd_prove,
-               "lint": cmd_lint, "profile": cmd_profile,
-               "perf-check": cmd_perf_check}[args.command]
-    return handler(args, out=out)
+               "verify": cmd_verify, "lint": cmd_lint,
+               "profile": cmd_profile, "perf-check": cmd_perf_check,
+               "sweep": cmd_sweep, "chaos": cmd_chaos}[args.command]
+    try:
+        return handler(args, out=out)
+    except ReproError as exc:
+        # Typed failures (bad input, corrupted artifacts) are reported as
+        # one line, never a traceback; exit 2 mirrors argparse usage errors.
+        print(exc.one_line(), file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        text = " ".join(str(exc).split()) or type(exc).__name__
+        print(f"error[{'os' if isinstance(exc, OSError) else 'value'}]: {text}",
+              file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

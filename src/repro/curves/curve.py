@@ -164,8 +164,20 @@ class Group:
         return self.generator * k
 
     def in_subgroup(self, pt):
-        """True iff *pt* lies in the order-``r`` subgroup (O(log r) doublings)."""
-        return (pt * self.order).is_infinity()
+        """True iff *pt* lies in the order-``r`` subgroup (O(log r) doublings).
+
+        ``Point.__mul__`` reduces its scalar mod ``order`` — correct inside
+        the subgroup, but ``pt * order`` would degenerate to ``pt * 0`` and
+        accept everything — so this runs its own unreduced ladder.
+        """
+        if pt.is_infinity():
+            return True
+        acc = self.infinity()
+        for bit in bin(self.order)[2:]:
+            acc = acc.double()
+            if bit == "1":
+                acc = acc + pt
+        return acc.is_infinity()
 
 
 class Point:

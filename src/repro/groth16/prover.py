@@ -15,11 +15,11 @@ whose fingerprint dominates the paper's findings:
 from __future__ import annotations
 
 from repro.groth16.keys import Proof
-from repro.msm.pippenger import msm_pippenger
 from repro.obs import metrics
 from repro.perf import trace
 from repro.poly.domain import EvaluationDomain
 from repro.qap.qap import compute_h
+from repro.resilience.degrade import resilient_msm
 
 __all__ = ["prove"]
 
@@ -85,11 +85,13 @@ def prove(pk, circuit, witness, rng):
     h_aff = [p.to_affine() for p in pk.h_query]
 
     def _msms():
-        a_sum = msm_pippenger(curve.g1, a_aff, witness)
-        b1_sum = msm_pippenger(curve.g1, b1_aff, witness)
-        b2_sum = msm_pippenger(curve.g2, b2_aff, witness)
-        l_sum = msm_pippenger(curve.g1, l_aff, l_scalars)
-        h_sum = msm_pippenger(curve.g1, h_aff, h)
+        # resilient_msm: Pippenger, degrading to the naive kernel on a
+        # transient kernel fault (docs/ROBUSTNESS.md).
+        a_sum = resilient_msm(curve.g1, a_aff, witness)
+        b1_sum = resilient_msm(curve.g1, b1_aff, witness)
+        b2_sum = resilient_msm(curve.g2, b2_aff, witness)
+        l_sum = resilient_msm(curve.g1, l_aff, l_scalars)
+        h_sum = resilient_msm(curve.g1, h_aff, h)
         return a_sum, b1_sum, b2_sum, l_sum, h_sum
 
     if t is None:

@@ -7,6 +7,18 @@ curve point otherwise), and fixed-width field elements.  Deserialization
 validates every point against the curve equation, so a corrupted or
 malicious key fails loudly rather than producing garbage proofs.
 
+Every rejection raises
+:class:`~repro.resilience.errors.ArtifactCorruption` (a ``ValueError``
+subclass) naming what was expected versus found — truncated and
+oversized blobs included — and the small artifacts (proofs, verifying
+keys, the proving key's header points) additionally get a subgroup check
+(:meth:`~repro.curves.curve.Group.in_subgroup`): on-curve-but-wrong-
+subgroup points are the classic malleability vector the curve equation
+alone cannot catch.  The proving key's bulk query sections stay
+equation-checked only — thousands of scalar multiplications per load
+would dwarf the deserialization itself, and the prover's output is
+verified downstream anyway.
+
 The byte sizes produced here are exactly what
 :meth:`repro.groth16.keys.ProvingKey.size_bytes` models for the traced
 zkey streams.
@@ -17,6 +29,8 @@ from __future__ import annotations
 import struct
 
 from repro.groth16.keys import Proof, ProvingKey, VerifyingKey
+from repro.resilience import faults
+from repro.resilience.errors import ArtifactCorruption
 
 __all__ = [
     "proof_to_bytes", "proof_from_bytes",
@@ -47,25 +61,44 @@ class _Writer:
 
 
 class _Reader:
-    def __init__(self, data):
+    def __init__(self, data, artifact="blob"):
         self.data = data
         self.pos = 0
+        self.artifact = artifact
 
     def u32(self):
+        if self.pos + 4 > len(self.data):
+            raise ArtifactCorruption(
+                f"truncated {self.artifact}: u32 at offset {self.pos}",
+                artifact=self.artifact,
+                expected=f">= {self.pos + 4} bytes",
+                actual=f"{len(self.data)} bytes",
+            )
         (v,) = struct.unpack_from("<I", self.data, self.pos)
         self.pos += 4
         return v
 
     def raw(self, n):
         if self.pos + n > len(self.data):
-            raise ValueError("truncated encoding")
+            raise ArtifactCorruption(
+                f"truncated {self.artifact}: {n}-byte field at offset {self.pos}",
+                artifact=self.artifact,
+                expected=f">= {self.pos + n} bytes",
+                actual=f"{len(self.data)} bytes",
+            )
         out = self.data[self.pos: self.pos + n]
         self.pos += n
         return out
 
     def done(self):
         if self.pos != len(self.data):
-            raise ValueError(f"{len(self.data) - self.pos} trailing bytes")
+            raise ArtifactCorruption(
+                f"oversized {self.artifact}: "
+                f"{len(self.data) - self.pos} trailing bytes",
+                artifact=self.artifact,
+                expected=f"{self.pos} bytes",
+                actual=f"{len(self.data)} bytes",
+            )
 
 
 # -- point codecs ---------------------------------------------------------------
@@ -94,21 +127,37 @@ def _write_point(w, group, point):
             w.raw(fq.to_bytes(c))
 
 
-def _read_point(r, group):
+def _read_point(r, group, subgroup=False):
     nb = _coord_bytes(group)
+    offset = r.pos
     blob = r.raw(2 * nb)
     if blob == b"\x00" * (2 * nb):
         return group.infinity()
-    if hasattr(group.ops, "fq"):
-        fq = group.ops.fq
-        x = fq.from_bytes(blob[:nb])
-        y = fq.from_bytes(blob[nb:])
-    else:
-        fq = group.ops.tower.fq
-        half = nb // 2
-        x = (fq.from_bytes(blob[:half]), fq.from_bytes(blob[half: 2 * half]))
-        y = (fq.from_bytes(blob[2 * half: 3 * half]), fq.from_bytes(blob[3 * half:]))
-    return group.point(x, y)  # validates the curve equation
+    try:
+        if hasattr(group.ops, "fq"):
+            fq = group.ops.fq
+            x = fq.from_bytes(blob[:nb])
+            y = fq.from_bytes(blob[nb:])
+        else:
+            fq = group.ops.tower.fq
+            half = nb // 2
+            x = (fq.from_bytes(blob[:half]), fq.from_bytes(blob[half: 2 * half]))
+            y = (fq.from_bytes(blob[2 * half: 3 * half]),
+                 fq.from_bytes(blob[3 * half:]))
+        pt = group.point(x, y)  # validates reduced coordinates + curve equation
+    except ValueError as exc:
+        raise ArtifactCorruption(
+            f"corrupt {r.artifact}: point at offset {offset} "
+            f"is not a valid curve point ({exc})",
+            artifact=r.artifact,
+        ) from exc
+    if subgroup and not group.in_subgroup(pt):
+        raise ArtifactCorruption(
+            f"corrupt {r.artifact}: point at offset {offset} is on the "
+            "curve but outside the prime-order subgroup",
+            artifact=r.artifact,
+        )
+    return pt
 
 
 def _write_points(w, group, points):
@@ -117,8 +166,8 @@ def _write_points(w, group, points):
         _write_point(w, group, p)
 
 
-def _read_points(r, group):
-    return [_read_point(r, group) for _ in range(r.u32())]
+def _read_points(r, group, subgroup=False):
+    return [_read_point(r, group, subgroup=subgroup) for _ in range(r.u32())]
 
 
 def _header(w, magic, curve):
@@ -131,10 +180,15 @@ def _check_header(r, magic):
 
     got = r.raw(4)
     if got != magic:
-        raise ValueError(f"bad magic {got!r}, expected {magic!r}")
+        raise ArtifactCorruption(
+            f"bad magic {got!r}, expected {magic!r}", artifact=r.artifact,
+        )
     curve_id = r.u32()
     if curve_id not in _CURVE_BY_ID:
-        raise ValueError(f"unknown curve id {curve_id}")
+        raise ArtifactCorruption(
+            f"unknown curve id {curve_id} in {r.artifact}",
+            artifact=r.artifact,
+        )
     return get_curve(_CURVE_BY_ID[curve_id])
 
 
@@ -142,6 +196,8 @@ def _check_header(r, magic):
 
 
 def proof_to_bytes(proof):
+    if faults.CURRENT is not None:
+        faults.CURRENT.check("serialize:proof")
     w = _Writer()
     _header(w, _MAGIC_PROOF, proof.curve)
     _write_point(w, proof.curve.g1, proof.a)
@@ -151,11 +207,13 @@ def proof_to_bytes(proof):
 
 
 def proof_from_bytes(data):
-    r = _Reader(data)
+    if faults.CURRENT is not None:
+        faults.CURRENT.check("serialize:proof")
+    r = _Reader(data, artifact="proof")
     curve = _check_header(r, _MAGIC_PROOF)
-    a = _read_point(r, curve.g1)
-    b = _read_point(r, curve.g2)
-    c = _read_point(r, curve.g1)
+    a = _read_point(r, curve.g1, subgroup=True)
+    b = _read_point(r, curve.g2, subgroup=True)
+    c = _read_point(r, curve.g1, subgroup=True)
     r.done()
     return Proof(curve=curve, a=a, b=b, c=c)
 
@@ -164,6 +222,8 @@ def proof_from_bytes(data):
 
 
 def vk_to_bytes(vk):
+    if faults.CURRENT is not None:
+        faults.CURRENT.check("serialize:vk")
     w = _Writer()
     _header(w, _MAGIC_VK, vk.curve)
     _write_point(w, vk.curve.g1, vk.alpha1)
@@ -178,17 +238,22 @@ def vk_to_bytes(vk):
 
 
 def vk_from_bytes(data):
-    r = _Reader(data)
+    if faults.CURRENT is not None:
+        faults.CURRENT.check("serialize:vk")
+    r = _Reader(data, artifact="verifying key")
     curve = _check_header(r, _MAGIC_VK)
-    alpha1 = _read_point(r, curve.g1)
-    beta2 = _read_point(r, curve.g2)
-    gamma2 = _read_point(r, curve.g2)
-    delta2 = _read_point(r, curve.g2)
-    ic = _read_points(r, curve.g1)
+    alpha1 = _read_point(r, curve.g1, subgroup=True)
+    beta2 = _read_point(r, curve.g2, subgroup=True)
+    gamma2 = _read_point(r, curve.g2, subgroup=True)
+    delta2 = _read_point(r, curve.g2, subgroup=True)
+    ic = _read_points(r, curve.g1, subgroup=True)
     public_wires = [r.u32() for _ in range(r.u32())]
     r.done()
     if len(ic) != len(public_wires):
-        raise ValueError("IC/public-wire length mismatch")
+        raise ArtifactCorruption(
+            "IC/public-wire length mismatch", artifact="verifying key",
+            expected=f"{len(ic)} wires", actual=f"{len(public_wires)} wires",
+        )
     return VerifyingKey(curve=curve, alpha1=alpha1, beta2=beta2, gamma2=gamma2,
                         delta2=delta2, ic=ic, public_wires=public_wires)
 
@@ -197,6 +262,8 @@ def vk_from_bytes(data):
 
 
 def pk_to_bytes(pk):
+    if faults.CURRENT is not None:
+        faults.CURRENT.check("serialize:pk")
     w = _Writer()
     _header(w, _MAGIC_PK, pk.curve)
     w.u32(pk.domain_size)
@@ -217,11 +284,17 @@ def pk_to_bytes(pk):
 
 
 def pk_from_bytes(data):
-    r = _Reader(data)
+    if faults.CURRENT is not None:
+        faults.CURRENT.check("serialize:pk")
+    r = _Reader(data, artifact="proving key")
     curve = _check_header(r, _MAGIC_PK)
     domain_size = r.u32()
-    alpha1, beta1, delta1 = (_read_point(r, curve.g1) for _ in range(3))
-    beta2, delta2 = (_read_point(r, curve.g2) for _ in range(2))
+    # Header points get the full subgroup check; the bulk query sections
+    # below stay curve-equation-only (see the module docstring).
+    alpha1, beta1, delta1 = (_read_point(r, curve.g1, subgroup=True)
+                             for _ in range(3))
+    beta2, delta2 = (_read_point(r, curve.g2, subgroup=True)
+                     for _ in range(2))
     a_query = _read_points(r, curve.g1)
     b1_query = _read_points(r, curve.g1)
     b2_query = _read_points(r, curve.g2)

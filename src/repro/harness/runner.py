@@ -19,13 +19,23 @@ safe.  Cache traffic is observable: when a metrics registry is active
 (:mod:`repro.obs.metrics`), hits and misses are counted under
 ``repro_harness_cache_*`` so stale-cache confusion is diagnosable.
 Delete the directory or set ``REPRO_CACHE=0`` to disable caching.
+
+Entries are stored with a sha256 trailer
+(:func:`repro.resilience.checkpoint.write_checksummed`); a truncated or
+bit-flipped file is **evicted** on read — counted under
+``repro_harness_cache_evictions_total`` — and the cell recomputed, so the
+cache self-heals instead of silently serving garbage.  ``profile_run``
+also runs under the resilience memory guard: a cell that raises
+:class:`~repro.resilience.errors.ResourceExhausted` is re-run with a
+coarser ``mem_sample`` (docs/ROBUSTNESS.md), and ``profile_sweep`` can
+checkpoint each finished cell so a killed sweep resumes where it died
+(``python -m repro sweep --resume``).
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-import pickle
 
 import repro
 from repro.curves import get_curve
@@ -33,6 +43,13 @@ from repro.harness.circuits import build_workload
 from repro.obs import ledger, metrics
 from repro.perf.analysis import analyze_stage
 from repro.perf.trace import Tracer
+from repro.resilience.checkpoint import (
+    SweepCheckpoint,
+    read_checksummed,
+    write_checksummed,
+)
+from repro.resilience.degrade import run_with_memory_guard
+from repro.resilience.errors import ArtifactCorruption
 from repro.workflow import STAGES, Workflow
 
 __all__ = ["DEFAULT_SIZES", "PAPER_SIZES", "profile_run", "profile_sweep"]
@@ -106,31 +123,47 @@ def profile_run(curve_name, size, seed=0, mem_sample=DEFAULT_MEM_SAMPLE,
         path = os.path.join(cache_dir, fname)
         if os.path.exists(path):
             try:
-                with open(path, "rb") as f:
-                    profiles = pickle.load(f)
+                profiles = read_checksummed(path)
+            except ArtifactCorruption:
+                # Truncated / bit-flipped / pre-checksum entry: evict it
+                # so the cache heals, then recompute the cell.
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                if m is not None:
+                    m.inc("repro_harness_cache_evictions_total")
+            else:
                 _MEMO[key] = profiles
                 if m is not None:
                     m.inc("repro_harness_cache_disk_hits_total")
                 return profiles
-            except Exception:
-                pass  # stale/corrupt cache entry: recompute below
 
     if m is not None:
         m.inc("repro_harness_cache_misses_total")
     curve = get_curve(curve_name)
     builder, inputs = build_workload(workload, curve, size)
-    wf = Workflow(curve, builder, inputs, seed=seed)
-    profiles = {}
-    for stage in STAGES:
-        tracer = Tracer(label=f"{curve_name}/{size}/{stage}", mem_sample=mem_sample)
-        result = wf.run_stage(stage, tracer)
-        profiles[stage] = analyze_stage(
-            tracer, stage=stage, curve=curve_name, size=size, elapsed=result.elapsed
-        )
-    if wf.accepted is not True:
-        raise RuntimeError(
-            f"profiled workflow produced a rejected proof ({curve_name}, n={size})"
-        )
+
+    def _compute(effective_mem_sample):
+        wf = Workflow(curve, builder, inputs, seed=seed)
+        profiles = {}
+        for stage in STAGES:
+            tracer = Tracer(label=f"{curve_name}/{size}/{stage}",
+                            mem_sample=effective_mem_sample)
+            result = wf.run_stage(stage, tracer)
+            profiles[stage] = analyze_stage(
+                tracer, stage=stage, curve=curve_name, size=size,
+                elapsed=result.elapsed,
+            )
+        if wf.accepted is not True:
+            raise RuntimeError(
+                f"profiled workflow produced a rejected proof ({curve_name}, n={size})"
+            )
+        return wf, profiles
+
+    # Memory guard: under ResourceExhausted the cell is re-run with a
+    # coarser mem_sample — degraded memory *precision*, not a lost sweep.
+    (wf, profiles), _effective = run_with_memory_guard(_compute, mem_sample)
 
     if ledger.CURRENT is not None:
         ledger.CURRENT.append(ledger.make_record(
@@ -146,24 +179,44 @@ def profile_run(curve_name, size, seed=0, mem_sample=DEFAULT_MEM_SAMPLE,
     _MEMO[key] = profiles
     if path is not None:
         try:
-            tmp = path + ".tmp"
-            with open(tmp, "wb") as f:
-                pickle.dump(profiles, f)
-            os.replace(tmp, path)
-        except Exception:
+            write_checksummed(path, profiles)
+        except OSError:
             pass  # cache is best-effort
     return profiles
 
 
 def profile_sweep(curve_names=("bn128", "bls12_381"), sizes=DEFAULT_SIZES,
                   seed=0, mem_sample=DEFAULT_MEM_SAMPLE,
-                  workload="exponentiate"):
-    """The paper's full sweep: ``{(curve, size): {stage: StageProfile}}``."""
+                  workload="exponentiate", checkpoint=None, resume=True):
+    """The paper's full sweep: ``{(curve, size): {stage: StageProfile}}``.
+
+    With *checkpoint* set (``True`` for the conventional
+    ``results/checkpoints/`` or a base-directory path), every finished
+    cell is persisted through a :class:`SweepCheckpoint`; when *resume*
+    is also true, previously stored cells are loaded back instead of
+    recomputed — so a sweep killed mid-way picks up exactly where it
+    died.  Stored cells are the deterministic model profiles, making a
+    resumed sweep's results identical to an uninterrupted run's.
+    """
+    ckpt = None
+    if checkpoint:
+        ckpt = SweepCheckpoint(
+            workload, curve_names, sizes, seed, mem_sample,
+            _source_fingerprint(),
+            base_dir=checkpoint if isinstance(checkpoint, str) else None,
+        )
     out = {}
     for curve_name in curve_names:
         for size in sizes:
-            out[(curve_name, size)] = profile_run(
-                curve_name, size, seed=seed, mem_sample=mem_sample,
-                workload=workload,
-            )
+            profiles = None
+            if ckpt is not None and resume:
+                profiles = ckpt.load(curve_name, size)
+            if profiles is None:
+                profiles = profile_run(
+                    curve_name, size, seed=seed, mem_sample=mem_sample,
+                    workload=workload,
+                )
+                if ckpt is not None:
+                    ckpt.store(curve_name, size, profiles)
+            out[(curve_name, size)] = profiles
     return out

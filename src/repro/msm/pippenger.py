@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from repro.obs import metrics
 from repro.perf import trace
+from repro.resilience import faults
+from repro.resilience import retry as resilience
 
 __all__ = ["msm_pippenger", "optimal_window"]
 
@@ -65,6 +67,8 @@ def msm_pippenger(group, points, scalars, window=None):
         m.inc("repro_msm_pippenger_calls_total")
         m.inc("repro_msm_windows_total", n_windows)
         m.observe("repro_msm_points", len(pairs))
+    if faults.CURRENT is not None:
+        faults.CURRENT.check("msm:pippenger")
 
     t = trace.CURRENT
     if hasattr(group.ops, "fq"):  # G1: affine (x, y) over Fq
@@ -87,6 +91,10 @@ def msm_pippenger(group, points, scalars, window=None):
 
     window_sums = []
     for w in range(n_windows):
+        # Cooperative deadline poll between the (independent) window
+        # passes — the natural preemption point of the kernel.
+        if resilience.DEADLINE is not None:
+            resilience.DEADLINE.check()
         shift = w * c
         if t is None:
             buckets = [None] * mask

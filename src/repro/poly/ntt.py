@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from repro.obs import metrics
 from repro.perf import trace
+from repro.resilience import faults
+from repro.resilience import retry as resilience
 
 __all__ = ["ntt", "intt", "coset_ntt", "coset_intt", "bit_reverse_permute"]
 
@@ -51,6 +53,10 @@ def _transform(field, values, root, tracer_label):
         m.inc("repro_ntt_transforms_total")
         m.inc("repro_ntt_butterflies_total", (n >> 1) * (n.bit_length() - 1))
         m.observe("repro_ntt_size", n)
+    if faults.CURRENT is not None:
+        faults.CURRENT.check("ntt:transform")
+    if resilience.DEADLINE is not None:
+        resilience.DEADLINE.check()
     r = field.modulus
     t = trace.CURRENT
     base = 0

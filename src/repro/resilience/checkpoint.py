@@ -1,0 +1,160 @@
+"""Sweep checkpoints and self-verifying pickle payloads.
+
+Two layers:
+
+- :func:`write_checksummed` / :func:`read_checksummed` — the one on-disk
+  pickle format of the repo: payload followed by a 32-byte sha256 trailer,
+  written atomically (tmp + rename).  A truncated, bit-flipped or
+  foreign-format file raises
+  :class:`~repro.resilience.errors.ArtifactCorruption` instead of
+  deserializing garbage; the harness disk cache and the sweep checkpoints
+  both use it.
+- :class:`SweepCheckpoint` — per-cell persistence for ``profile_sweep``
+  under ``results/checkpoints/sweep_<key>/``: one checksummed file per
+  (workload, curve, size, seed) cell plus a human-readable
+  ``MANIFEST.json``.  A killed sweep resumes by loading every finished
+  cell and recomputing only the rest (``python -m repro sweep --resume``);
+  because cells hold the deterministic model profiles, a resumed sweep's
+  results are identical to an uninterrupted run's.
+
+Corrupt cells are **self-healing**: load failures evict the file, bump
+``repro_resilience_checkpoint_evictions_total``, and report a miss so the
+cell is simply recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+
+from repro.obs import metrics
+from repro.resilience.errors import ArtifactCorruption
+
+__all__ = [
+    "DEFAULT_DIR",
+    "SweepCheckpoint",
+    "read_checksummed",
+    "write_checksummed",
+]
+
+#: Conventional checkpoint directory (relative to the working directory).
+DEFAULT_DIR = os.path.join("results", "checkpoints")
+
+_DIGEST_BYTES = 32
+
+
+def write_checksummed(path, obj):
+    """Atomically write ``pickle(obj) + sha256(payload)`` to *path*."""
+    payload = pickle.dumps(obj)
+    digest = hashlib.sha256(payload).digest()
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        f.write(payload)
+        f.write(digest)
+    os.replace(tmp, path)
+    return len(payload) + _DIGEST_BYTES
+
+
+def read_checksummed(path):
+    """Load a checksummed payload; any mismatch raises ``ArtifactCorruption``."""
+    with open(path, "rb") as f:
+        data = f.read()
+    if len(data) <= _DIGEST_BYTES:
+        raise ArtifactCorruption(
+            f"checksummed payload {path!r} too short",
+            artifact=path, expected=f"> {_DIGEST_BYTES} bytes",
+            actual=f"{len(data)} bytes",
+        )
+    payload, trailer = data[:-_DIGEST_BYTES], data[-_DIGEST_BYTES:]
+    digest = hashlib.sha256(payload).digest()
+    if digest != trailer:
+        raise ArtifactCorruption(
+            f"sha256 mismatch in {path!r}",
+            artifact=path, expected=digest.hex()[:16],
+            actual=trailer.hex()[:16],
+        )
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise ArtifactCorruption(
+            f"unpicklable payload in {path!r}: {exc}", artifact=path,
+        ) from exc
+
+
+def sweep_key(workload, curve_names, sizes, seed, mem_sample, fingerprint):
+    """Stable 16-hex identity of one sweep configuration."""
+    text = json.dumps(
+        [workload, list(curve_names), list(sizes), seed, mem_sample, fingerprint],
+        sort_keys=True,
+    )
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+class SweepCheckpoint:
+    """Per-cell checkpoint store for one sweep configuration."""
+
+    def __init__(self, workload, curve_names, sizes, seed, mem_sample,
+                 fingerprint, base_dir=None):
+        self.key = sweep_key(workload, curve_names, sizes, seed, mem_sample,
+                             fingerprint)
+        base = base_dir or DEFAULT_DIR
+        self.dir = os.path.join(base, f"sweep_{self.key}")
+        self._manifest = {
+            "workload": workload,
+            "curves": list(curve_names),
+            "sizes": list(sizes),
+            "seed": seed,
+            "mem_sample": mem_sample,
+            "fingerprint": fingerprint,
+        }
+
+    def _cell_path(self, curve_name, size):
+        return os.path.join(self.dir, f"cell_{curve_name}_{size}.pkl")
+
+    def _ensure_dir(self):
+        os.makedirs(self.dir, exist_ok=True)
+        manifest = os.path.join(self.dir, "MANIFEST.json")
+        if not os.path.exists(manifest):
+            with open(manifest, "w") as f:
+                json.dump(self._manifest, f, indent=2, sort_keys=True)
+                f.write("\n")
+
+    def load(self, curve_name, size):
+        """The stored profiles for one cell, or ``None`` (missing cells
+        and corrupt — then evicted — cells both read as ``None``)."""
+        path = self._cell_path(curve_name, size)
+        if not os.path.exists(path):
+            return None
+        m = metrics.CURRENT
+        try:
+            profiles = read_checksummed(path)
+        except ArtifactCorruption:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            if m is not None:
+                m.inc("repro_resilience_checkpoint_evictions_total")
+            return None
+        if m is not None:
+            m.inc("repro_resilience_checkpoint_hits_total")
+        return profiles
+
+    def store(self, curve_name, size, profiles):
+        self._ensure_dir()
+        write_checksummed(self._cell_path(curve_name, size), profiles)
+
+    def completed_cells(self):
+        """Sorted (curve, size) pairs with a stored cell file."""
+        if not os.path.isdir(self.dir):
+            return []
+        cells = []
+        for name in os.listdir(self.dir):
+            if name.startswith("cell_") and name.endswith(".pkl"):
+                stem = name[len("cell_"):-len(".pkl")]
+                curve_name, _, size = stem.rpartition("_")
+                if curve_name and size.isdigit():
+                    cells.append((curve_name, int(size)))
+        return sorted(cells)

@@ -23,6 +23,8 @@ from repro.obs import ledger, metrics, spans
 from repro.obs.spans import Span
 from repro.perf import trace
 from repro.perf.trace import Tracer
+from repro.resilience import faults
+from repro.resilience import retry as resilience
 
 __all__ = ["STAGES", "StageResult", "Workflow"]
 
@@ -133,21 +135,42 @@ class Workflow:
         the stage runs under a span named after it, with the tracer's
         primitive counts attached; otherwise only the plain wall-clock
         ``elapsed`` is taken, as before.
+
+        When a resilience policy is installed
+        (:func:`repro.resilience.retry.resilient`) the stage body runs
+        under it — fault-site check, per-stage deadline, retry with
+        backoff — and a terminal failure raises
+        :class:`~repro.resilience.errors.StageError` carrying the typed
+        fault.  Without a policy the behavior is unchanged (injected
+        faults, if any, propagate raw); ``elapsed`` always spans every
+        attempt.
         """
         try:
             impl = getattr(self, f"_stage_{stage}")
         except AttributeError:
             raise ValueError(f"unknown stage {stage!r}; expected one of {STAGES}") from None
         start = time.perf_counter()
-        if spans.CURRENT is None:
-            artifact = self._execute(impl, tracer)
-            sp = None
-        else:
+        recorded_spans = []
+
+        def body():
+            if spans.CURRENT is None:
+                return self._execute(impl, tracer)
             with spans.span(stage, curve=self.curve.name,
                             circuit=self.builder.name) as sp:
+                recorded_spans.append(sp)
                 artifact = self._execute(impl, tracer)
                 if tracer is not None:
                     spans.attach_counters(tracer.total_counts())
+            return artifact
+
+        policy = resilience.CURRENT
+        if policy is None:
+            if faults.CURRENT is not None:
+                faults.CURRENT.check(f"stage:{stage}")
+            artifact = body()
+        else:
+            artifact = policy.execute_stage(stage, body)
+        sp = recorded_spans[-1] if recorded_spans else None
         elapsed = time.perf_counter() - start
         result = StageResult(stage=stage, artifact=artifact, elapsed=elapsed,
                              tracer=tracer, span=sp)

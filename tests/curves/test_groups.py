@@ -188,3 +188,21 @@ def test_in_subgroup_rejects_low_order_shift():
     g = BN128.g1
     for k in (1, 2, 12345):
         assert g.in_subgroup(g.generator * k)
+
+
+def test_in_subgroup_rejects_cofactor_component():
+    # BLS12-381 G1 has cofactor ~2**125: almost every curve point is
+    # outside the r-subgroup.  The check must not degenerate via the
+    # scalar-mod-order reduction in Point.__mul__ (pt * order == pt * 0).
+    from repro.curves import BLS12_381
+
+    g = BLS12_381.g1
+    p = g.ops.fq.modulus
+    x = 4  # first x whose RHS is square; p = 3 (mod 4) so sqrt = rhs^((p+1)/4)
+    rhs = (pow(x, 3, p) + g.b) % p
+    y = pow(rhs, (p + 1) // 4, p)
+    assert y * y % p == rhs
+    rogue = g.point(x, y)
+    assert not g.in_subgroup(rogue)
+    assert g.in_subgroup(g.generator * 7)
+    assert g.in_subgroup(g.infinity())

@@ -1,0 +1,176 @@
+"""Corruption handling for vk/pk blobs: fuzz, truncation, subgroup checks.
+
+Complements ``test_serialize_fuzz.py`` (which fuzzes proofs): verifying
+and proving keys must also fail loudly — with
+:class:`~repro.resilience.errors.ArtifactCorruption` naming expected vs
+actual — and on-curve-but-out-of-subgroup points must be rejected, not
+just off-curve ones.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.curves import BLS12_381, BN128
+from repro.groth16 import generate_witness, prove, setup
+from repro.groth16.serialize import (
+    pk_from_bytes,
+    pk_to_bytes,
+    proof_from_bytes,
+    proof_to_bytes,
+    vk_from_bytes,
+    vk_to_bytes,
+)
+from repro.resilience.errors import ArtifactCorruption
+from tests.conftest import make_pow_circuit
+
+
+@pytest.fixture(scope="module")
+def keys():
+    circ, inputs = make_pow_circuit(BN128, 4)
+    pk, vk = setup(BN128, circ, random.Random(51))
+    return pk, vk
+
+
+@pytest.fixture(scope="module")
+def encoded(keys):
+    pk, vk = keys
+    return pk_to_bytes(pk), vk_to_bytes(vk)
+
+
+class TestVkFuzz:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_byte_flips_never_silently_accepted(self, encoded, data):
+        _, vk_blob = encoded
+        pos = data.draw(st.integers(min_value=0, max_value=len(vk_blob) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        corrupted = bytearray(vk_blob)
+        corrupted[pos] ^= 1 << bit
+        try:
+            back = vk_from_bytes(bytes(corrupted))
+        except ValueError:
+            return  # rejected loudly: good
+        assert vk_to_bytes(back) != vk_blob
+
+    @given(junk=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_bytes_rejected(self, junk):
+        with pytest.raises(ValueError):
+            vk_from_bytes(junk)
+
+
+class TestPkFuzz:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_byte_flips_never_silently_accepted(self, encoded, data):
+        pk_blob, _ = encoded
+        pos = data.draw(st.integers(min_value=0, max_value=len(pk_blob) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        corrupted = bytearray(pk_blob)
+        corrupted[pos] ^= 1 << bit
+        try:
+            back = pk_from_bytes(bytes(corrupted))
+        except ValueError:
+            return
+        assert pk_to_bytes(back) != pk_blob
+
+    @given(junk=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_bytes_rejected(self, junk):
+        with pytest.raises(ValueError):
+            pk_from_bytes(junk)
+
+
+class TestTruncationAndPadding:
+    @pytest.mark.parametrize("which", ["pk", "vk"])
+    def test_truncated_blob_reports_expected_vs_actual(self, encoded, which):
+        blob = encoded[0] if which == "pk" else encoded[1]
+        parse = pk_from_bytes if which == "pk" else vk_from_bytes
+        with pytest.raises(ArtifactCorruption, match="truncated") as info:
+            parse(blob[: len(blob) - 7])
+        assert info.value.expected is not None
+        assert info.value.actual is not None
+        assert "expected" in str(info.value) and "actual" in str(info.value)
+
+    @pytest.mark.parametrize("which", ["pk", "vk"])
+    def test_trailing_bytes_rejected(self, encoded, which):
+        blob = encoded[0] if which == "pk" else encoded[1]
+        parse = pk_from_bytes if which == "pk" else vk_from_bytes
+        with pytest.raises(ArtifactCorruption, match="trailing"):
+            parse(blob + b"\x00\x01")
+
+    def test_every_truncation_point_rejected(self, encoded):
+        _, vk_blob = encoded
+        for cut in range(len(vk_blob)):
+            with pytest.raises(ValueError):
+                vk_from_bytes(vk_blob[:cut])
+
+
+def _rogue_g1_point():
+    """An on-curve BLS12-381 G1 point outside the r-subgroup.
+
+    G1's cofactor is ~2**125, so almost every x with a square RHS gives a
+    full-order point; x=4 is the first (p ≡ 3 mod 4, so sqrt = rhs^((p+1)/4)).
+    """
+    g = BLS12_381.g1
+    p = g.ops.fq.modulus
+    x = 4
+    rhs = (pow(x, 3, p) + g.b) % p
+    y = pow(rhs, (p + 1) // 4, p)
+    assert y * y % p == rhs
+    pt = g.point(x, y)
+    assert not g.in_subgroup(pt)
+    return pt
+
+
+class TestSubgroupCheck:
+    @pytest.fixture(scope="class")
+    def bls_session(self):
+        circ, inputs = make_pow_circuit(BLS12_381, 4)
+        rng = random.Random(51)
+        pk, vk = setup(BLS12_381, circ, rng)
+        proof = prove(pk, circ, generate_witness(circ, inputs), rng)
+        return pk, vk, proof
+
+    @staticmethod
+    def _splice_g1(blob, offset, pt):
+        fq = BLS12_381.g1.ops.fq
+        x, y = pt.to_affine()
+        enc = fq.to_bytes(x) + fq.to_bytes(y)
+        return blob[:offset] + enc + blob[offset + len(enc):]
+
+    def test_proof_with_rogue_point_rejected(self, bls_session):
+        _, _, proof = bls_session
+        blob = proof_to_bytes(proof)
+        # Offset 8 (magic + curve id) is proof.a, a G1 point.
+        bad = self._splice_g1(blob, 8, _rogue_g1_point())
+        with pytest.raises(ArtifactCorruption, match="subgroup"):
+            proof_from_bytes(bad)
+
+    def test_vk_with_rogue_point_rejected(self, bls_session):
+        _, vk, _ = bls_session
+        blob = vk_to_bytes(vk)
+        # Offset 8 is vk.alpha1, a G1 point.
+        bad = self._splice_g1(blob, 8, _rogue_g1_point())
+        with pytest.raises(ArtifactCorruption, match="subgroup"):
+            vk_from_bytes(bad)
+
+    def test_pk_header_with_rogue_point_rejected(self, bls_session):
+        pk, _, _ = bls_session
+        blob = pk_to_bytes(pk)
+        # Offset 12 (magic + curve id + domain_size) is pk.alpha1.
+        bad = self._splice_g1(blob, 12, _rogue_g1_point())
+        with pytest.raises(ArtifactCorruption, match="subgroup"):
+            pk_from_bytes(bad)
+
+    def test_non_reduced_coordinate_rejected_typed(self, bls_session):
+        _, vk, _ = bls_session
+        blob = bytearray(vk_to_bytes(vk))
+        # Overwrite alpha1.x with p itself — on no curve, and not even a
+        # reduced field element; must still surface as typed corruption.
+        fq = BLS12_381.g1.ops.fq
+        blob[8: 8 + fq.nbytes] = fq.modulus.to_bytes(fq.nbytes, "little")
+        with pytest.raises(ArtifactCorruption, match="not a valid curve point"):
+            vk_from_bytes(bytes(blob))

@@ -1,0 +1,86 @@
+"""Disk-cache self-healing: corrupt entries are evicted and recomputed."""
+
+import glob
+import os
+
+import pytest
+
+from repro.harness import runner
+from repro.obs import metrics
+from repro.resilience.checkpoint import read_checksummed
+
+CELL = dict(curve_name="bn128", size=8)
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setattr(runner, "_MEMO", {})
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+def _cache_file(cache_dir):
+    files = glob.glob(str(cache_dir / "profile_*.pkl"))
+    assert len(files) == 1
+    return files[0]
+
+
+class TestCacheIntegrity:
+    def test_entries_carry_checksum_trailer(self, cache_dir):
+        runner.profile_run(**CELL)
+        # The file parses under the checksummed reader — i.e. the trailer
+        # is present and matches the payload.
+        profiles = read_checksummed(_cache_file(cache_dir))
+        assert set(profiles) == set(runner.STAGES)
+
+    def test_truncated_entry_evicted_and_recomputed(self, cache_dir,
+                                                    monkeypatch):
+        runner.profile_run(**CELL)
+        path = _cache_file(cache_dir)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 2])
+
+        monkeypatch.setattr(runner, "_MEMO", {})  # force the disk path
+        with metrics.collecting() as reg:
+            profiles = runner.profile_run(**CELL)
+        assert reg.counter("repro_harness_cache_evictions_total") == 1
+        assert reg.counter("repro_harness_cache_misses_total") == 1
+        assert reg.counter("repro_harness_cache_disk_hits_total") == 0
+        assert set(profiles) == set(runner.STAGES)
+        # The rewritten entry is whole again.
+        assert read_checksummed(_cache_file(cache_dir))
+
+    def test_bit_flipped_entry_evicted(self, cache_dir, monkeypatch):
+        runner.profile_run(**CELL)
+        path = _cache_file(cache_dir)
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0x01
+        open(path, "wb").write(bytes(data))
+
+        monkeypatch.setattr(runner, "_MEMO", {})
+        with metrics.collecting() as reg:
+            runner.profile_run(**CELL)
+        assert reg.counter("repro_harness_cache_evictions_total") == 1
+
+    def test_intact_entry_still_hits(self, cache_dir, monkeypatch):
+        runner.profile_run(**CELL)
+        monkeypatch.setattr(runner, "_MEMO", {})
+        with metrics.collecting() as reg:
+            runner.profile_run(**CELL)
+        assert reg.counter("repro_harness_cache_disk_hits_total") == 1
+        assert reg.counter("repro_harness_cache_evictions_total") == 0
+
+    def test_eviction_removes_the_corrupt_file_before_recompute(
+            self, cache_dir, monkeypatch):
+        runner.profile_run(**CELL)
+        path = _cache_file(cache_dir)
+        open(path, "wb").write(b"short")
+
+        removed = []
+        real_remove = os.remove
+        monkeypatch.setattr(runner, "_MEMO", {})
+        monkeypatch.setattr(runner.os, "remove",
+                            lambda p: (removed.append(p), real_remove(p)))
+        runner.profile_run(**CELL)
+        assert removed == [path]

@@ -1,0 +1,192 @@
+"""Checksummed payloads, sweep checkpoints, and kill-and-resume semantics."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.harness import runner
+from repro.obs import metrics
+from repro.resilience.checkpoint import (
+    SweepCheckpoint,
+    read_checksummed,
+    sweep_key,
+    write_checksummed,
+)
+from repro.resilience.errors import ArtifactCorruption
+
+
+class TestChecksummedPayload:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "x.pkl")
+        obj = {"a": [1, 2, 3], "b": "payload"}
+        write_checksummed(path, obj)
+        assert read_checksummed(path) == obj
+
+    def test_truncation_detected(self, tmp_path):
+        path = str(tmp_path / "x.pkl")
+        write_checksummed(path, list(range(100)))
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: len(data) // 2])
+        with pytest.raises(ArtifactCorruption, match="mismatch|too short"):
+            read_checksummed(path)
+
+    def test_bit_flip_detected(self, tmp_path):
+        path = str(tmp_path / "x.pkl")
+        write_checksummed(path, list(range(100)))
+        data = bytearray(open(path, "rb").read())
+        data[10] ^= 0x40
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(ArtifactCorruption, match="sha256 mismatch"):
+            read_checksummed(path)
+
+    def test_plain_pickle_rejected(self, tmp_path):
+        # A pre-checksum cache file must read as corrupt, not as data.
+        path = str(tmp_path / "x.pkl")
+        with open(path, "wb") as f:
+            pickle.dump({"legacy": True}, f)
+        with pytest.raises(ArtifactCorruption):
+            read_checksummed(path)
+
+    def test_write_is_atomic_no_tmp_left(self, tmp_path):
+        path = str(tmp_path / "x.pkl")
+        write_checksummed(path, "v")
+        assert os.listdir(tmp_path) == ["x.pkl"]
+
+
+class TestSweepCheckpoint:
+    def _ckpt(self, tmp_path):
+        return SweepCheckpoint("exponentiate", ("bn128",), (8, 16), 0, 1,
+                              "fp0", base_dir=str(tmp_path))
+
+    def test_store_load_roundtrip(self, tmp_path):
+        ck = self._ckpt(tmp_path)
+        ck.store("bn128", 8, {"stage": "data"})
+        assert ck.load("bn128", 8) == {"stage": "data"}
+        assert ck.load("bn128", 16) is None
+        assert ck.completed_cells() == [("bn128", 8)]
+
+    def test_key_depends_on_configuration(self):
+        base = sweep_key("exponentiate", ("bn128",), (8,), 0, 1, "fp")
+        assert sweep_key("exponentiate", ("bn128",), (8,), 1, 1, "fp") != base
+        assert sweep_key("exponentiate", ("bn128",), (8,), 0, 1, "other") != base
+        assert sweep_key("range", ("bn128",), (8,), 0, 1, "fp") != base
+
+    def test_manifest_written(self, tmp_path):
+        ck = self._ckpt(tmp_path)
+        ck.store("bn128", 8, {})
+        assert os.path.exists(os.path.join(ck.dir, "MANIFEST.json"))
+
+    def test_corrupt_cell_self_heals(self, tmp_path):
+        ck = self._ckpt(tmp_path)
+        ck.store("bn128", 8, {"good": 1})
+        cell = os.path.join(ck.dir, "cell_bn128_8.pkl")
+        data = bytearray(open(cell, "rb").read())
+        data[-1] ^= 0xFF  # break the digest trailer
+        open(cell, "wb").write(bytes(data))
+        with metrics.collecting() as reg:
+            assert ck.load("bn128", 8) is None
+        assert not os.path.exists(cell)  # evicted
+        assert reg.counter("repro_resilience_checkpoint_evictions_total") == 1
+
+
+class TestKillAndResume:
+    CURVES = ("bn128",)
+    SIZES = (8, 16, 32)
+
+    @pytest.fixture(autouse=True)
+    def _isolated_harness(self, monkeypatch):
+        # No memo/disk cache: every computed cell is a real profile_run,
+        # so call counts below measure recomputation precisely.
+        monkeypatch.setattr(runner, "_MEMO", {})
+        monkeypatch.setenv("REPRO_CACHE", "0")
+
+    @staticmethod
+    def _deterministic(profiles):
+        """The model-output (machine-independent) face of one cell."""
+        return {
+            stage: (p.instructions, p.cycles, p.loads, p.stores)
+            for stage, p in profiles.items()
+        }
+
+    def test_interrupted_sweep_resumes_without_recompute(self, tmp_path,
+                                                         monkeypatch):
+        ckpt_a = str(tmp_path / "interrupted")
+        ckpt_b = str(tmp_path / "reference")
+
+        real = runner.profile_run
+        calls = []
+
+        def killing(curve_name, size, **kw):
+            if len(calls) == 2:
+                raise KeyboardInterrupt  # simulated mid-sweep kill
+            calls.append((curve_name, size))
+            return real(curve_name, size, **kw)
+
+        monkeypatch.setattr(runner, "profile_run", killing)
+        with pytest.raises(KeyboardInterrupt):
+            runner.profile_sweep(curve_names=self.CURVES, sizes=self.SIZES,
+                                 checkpoint=ckpt_a)
+        assert len(calls) == 2  # two cells finished before the kill
+
+        # The finished cells' checkpoint bytes, pre-resume.
+        ck = SweepCheckpoint("exponentiate", self.CURVES, self.SIZES, 0, 1,
+                             runner._source_fingerprint(), base_dir=ckpt_a)
+        stored_before = {
+            cell: open(os.path.join(ck.dir, f"cell_{cell[0]}_{cell[1]}.pkl"),
+                       "rb").read()
+            for cell in ck.completed_cells()
+        }
+        assert len(stored_before) == 2
+
+        def counting(curve_name, size, **kw):
+            calls.append((curve_name, size))
+            return real(curve_name, size, **kw)
+
+        monkeypatch.setattr(runner, "profile_run", counting)
+        resumed = runner.profile_sweep(curve_names=self.CURVES,
+                                       sizes=self.SIZES,
+                                       checkpoint=ckpt_a, resume=True)
+
+        # Only the unfinished cell was recomputed ...
+        assert len(calls) == 3
+        assert calls[2] == ("bn128", 32)
+        # ... and the finished cells' stored bytes are untouched.
+        for cell, before in stored_before.items():
+            path = os.path.join(ck.dir, f"cell_{cell[0]}_{cell[1]}.pkl")
+            assert open(path, "rb").read() == before
+
+        # The resumed sweep matches an uninterrupted reference run on
+        # every deterministic model output.
+        reference = runner.profile_sweep(curve_names=self.CURVES,
+                                         sizes=self.SIZES,
+                                         checkpoint=ckpt_b)
+        assert sorted(resumed) == sorted(reference)
+        for cell in reference:
+            assert self._deterministic(resumed[cell]) == \
+                self._deterministic(reference[cell])
+
+    def test_checkpoint_hits_counted(self, tmp_path):
+        base = str(tmp_path / "ck")
+        runner.profile_sweep(curve_names=("bn128",), sizes=(8,),
+                             checkpoint=base)
+        with metrics.collecting() as reg:
+            runner.profile_sweep(curve_names=("bn128",), sizes=(8,),
+                                 checkpoint=base, resume=True)
+        assert reg.counter("repro_resilience_checkpoint_hits_total") == 1
+
+    def test_resume_off_recomputes(self, tmp_path, monkeypatch):
+        base = str(tmp_path / "ck")
+        runner.profile_sweep(curve_names=("bn128",), sizes=(8,),
+                             checkpoint=base)
+        calls = []
+        real = runner.profile_run
+
+        def counting(curve_name, size, **kw):
+            calls.append(1)
+            return real(curve_name, size, **kw)
+
+        monkeypatch.setattr(runner, "profile_run", counting)
+        runner.profile_sweep(curve_names=("bn128",), sizes=(8,),
+                             checkpoint=base, resume=False)
+        assert calls == [1]

@@ -1,0 +1,70 @@
+"""Error taxonomy tests: codes, retryability, one-line rendering."""
+
+import pytest
+
+from repro.resilience.errors import (
+    ArtifactCorruption,
+    ReproError,
+    ResourceExhausted,
+    StageError,
+    StageTimeout,
+    TransientFault,
+    classify,
+    is_retryable,
+)
+
+
+class TestTaxonomy:
+    def test_codes_are_stable(self):
+        assert TransientFault("x").code == "transient"
+        assert StageTimeout("x").code == "timeout"
+        assert ArtifactCorruption("x").code == "corrupt"
+        assert ResourceExhausted("x").code == "resources"
+        assert StageError("proving", TransientFault("x")).code == "stage"
+
+    def test_all_are_repro_errors(self):
+        for exc in (TransientFault("x"), StageTimeout("x"),
+                    ArtifactCorruption("x"), ResourceExhausted("x"),
+                    StageError("s", TransientFault("x"))):
+            assert isinstance(exc, ReproError)
+
+    def test_corruption_is_a_value_error(self):
+        # Pre-taxonomy callers catch ValueError from deserialization;
+        # the typed class must keep satisfying them.
+        with pytest.raises(ValueError):
+            raise ArtifactCorruption("bad blob")
+
+    def test_corruption_formats_expected_vs_actual(self):
+        exc = ArtifactCorruption("truncated proof", artifact="proof",
+                                 expected="264 bytes", actual="100 bytes")
+        assert "expected 264 bytes" in str(exc)
+        assert "actual 100 bytes" in str(exc)
+        assert exc.artifact == "proof"
+
+    def test_retryability_policy_line(self):
+        assert is_retryable(TransientFault("x"))
+        assert is_retryable(StageTimeout("x"))
+        assert is_retryable(ArtifactCorruption("x"))
+        assert not is_retryable(ResourceExhausted("x"))
+        assert not is_retryable(StageError("s", TransientFault("x")))
+        assert not is_retryable(RuntimeError("x"))
+
+    def test_classify(self):
+        assert classify(TransientFault("x")) == "transient"
+        assert classify(RuntimeError("x")) == "untyped"
+
+
+class TestStageError:
+    def test_carries_stage_fault_attempts(self):
+        fault = StageTimeout("too slow", stage="proving")
+        exc = StageError("proving", fault, attempts=3)
+        assert exc.stage == "proving"
+        assert exc.fault is fault
+        assert exc.attempts == 3
+        assert "proving" in str(exc) and "timeout" in str(exc)
+
+    def test_one_line_never_has_newlines(self):
+        exc = StageError("setup", TransientFault("a\nb\nc"), attempts=2)
+        line = exc.one_line()
+        assert "\n" not in line
+        assert line.startswith("error[stage]:")

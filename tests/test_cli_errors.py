@@ -1,0 +1,138 @@
+"""CLI hardening contract, via real subprocesses.
+
+Every verb must exit 2 with a one-line ``error[<code>]: ...`` on bad
+input or corrupt artifacts — never a traceback.  Subprocess tests (not
+``main()`` calls) so the contract covers the actual entry point.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+
+def run_cli(*argv, cwd=None):
+    env = dict(os.environ, PYTHONPATH=SRC, REPRO_CACHE="0")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, env=env, cwd=cwd or REPO,
+        timeout=300,
+    )
+
+
+def assert_typed_failure(result, code):
+    assert result.returncode == 2, (result.stdout, result.stderr)
+    assert "Traceback" not in result.stderr and "Traceback" not in result.stdout
+    line = result.stderr.strip()
+    assert "\n" not in line, f"multi-line error: {line!r}"
+    assert line.startswith(f"error[{code}]:"), line
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    out = tmp_path_factory.mktemp("artifacts")
+    result = run_cli("prove", "--exponent", "4", "--out", str(out))
+    assert result.returncode == 0, result.stderr
+    return out
+
+
+class TestVerifyVerb:
+    def test_roundtrip_accepts(self, artifacts):
+        result = run_cli("verify", str(artifacts))
+        assert result.returncode == 0
+        assert "accepted: True" in result.stdout
+
+    def test_corrupt_proof_is_typed(self, artifacts, tmp_path):
+        for name in ("proof.bin", "vk.bin", "publics.json"):
+            data = (artifacts / name).read_bytes()
+            (tmp_path / name).write_bytes(data)
+        blob = bytearray((tmp_path / "proof.bin").read_bytes())
+        blob[9] ^= 0xFF  # inside proof.a
+        (tmp_path / "proof.bin").write_bytes(bytes(blob))
+        assert_typed_failure(run_cli("verify", str(tmp_path)), "corrupt")
+
+    def test_truncated_vk_is_typed(self, artifacts, tmp_path):
+        for name in ("proof.bin", "vk.bin", "publics.json"):
+            (tmp_path / name).write_bytes((artifacts / name).read_bytes())
+        blob = (tmp_path / "vk.bin").read_bytes()
+        (tmp_path / "vk.bin").write_bytes(blob[: len(blob) // 2])
+        assert_typed_failure(run_cli("verify", str(tmp_path)), "corrupt")
+
+    def test_garbage_publics_is_typed(self, artifacts, tmp_path):
+        for name in ("proof.bin", "vk.bin"):
+            (tmp_path / name).write_bytes((artifacts / name).read_bytes())
+        (tmp_path / "publics.json").write_text("not json {")
+        assert_typed_failure(run_cli("verify", str(tmp_path)), "corrupt")
+
+    def test_non_integer_publics_is_typed(self, artifacts, tmp_path):
+        for name in ("proof.bin", "vk.bin"):
+            (tmp_path / name).write_bytes((artifacts / name).read_bytes())
+        (tmp_path / "publics.json").write_text(json.dumps(["zero"]))
+        assert_typed_failure(run_cli("verify", str(tmp_path)), "corrupt")
+
+    def test_missing_dir_is_typed_os_error(self, tmp_path):
+        assert_typed_failure(
+            run_cli("verify", str(tmp_path / "nowhere")), "os")
+
+
+class TestArgumentErrors:
+    def test_unknown_verb_is_usage_error(self):
+        result = run_cli("frobnicate")
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+
+    def test_chaos_zero_faults_rejected(self):
+        result = run_cli("chaos", "--faults", "0")
+        assert result.returncode == 2
+        assert "positive" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_sweep_bad_size_is_typed(self):
+        result = run_cli("sweep", "--sizes", "0", "--curves", "bn128")
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+
+    def test_bad_curve_rejected(self):
+        result = run_cli("prove", "--curve", "ed25519")
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+
+    def test_perf_check_missing_ledger(self, tmp_path):
+        result = run_cli("perf-check", str(tmp_path / "a.jsonl"),
+                         str(tmp_path / "b.jsonl"))
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+
+
+class TestChaosVerb:
+    def test_smoke_run_is_acceptable(self):
+        result = run_cli("chaos", "--seed", "0", "--faults", "3",
+                         "--size", "16")
+        assert result.returncode == 0, (result.stdout, result.stderr)
+        assert "outcome:" in result.stdout
+        assert "Traceback" not in result.stderr
+
+    def test_json_report_parses(self):
+        result = run_cli("chaos", "--seed", "1", "--faults", "2",
+                         "--size", "16", "--json")
+        assert result.returncode == 0, (result.stdout, result.stderr)
+        report = json.loads(result.stdout)
+        assert report["status"] in ("recovered", "stage-failed",
+                                    "typed-failure")
+
+
+class TestSweepVerb:
+    def test_checkpointed_resume_roundtrip(self, tmp_path):
+        args = ("sweep", "--curves", "bn128", "--sizes", "8",
+                "--checkpoint-dir", str(tmp_path))
+        first = run_cli(*args)
+        assert first.returncode == 0, (first.stdout, first.stderr)
+        assert "1 cell(s) done" in first.stdout
+        second = run_cli(*args, "--resume")
+        assert second.returncode == 0
+        assert "(resuming)" in second.stdout
