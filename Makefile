@@ -1,6 +1,7 @@
 # Convenience targets; see README.md.
 
-.PHONY: install test lint bench artifacts slow clean profile perf-check chaos
+.PHONY: install test lint bench artifacts slow clean profile perf-check chaos \
+	deep-profile drift-check refresh-baseline
 
 # Seeds for the chaos smoke (override: make chaos CHAOS_SEEDS="0 7 42").
 CHAOS_SEEDS ?= 0 1 2 3
@@ -37,6 +38,27 @@ profile:
 perf-check:
 	PYTHONPATH=src python -m repro perf-check $(BASELINE_LEDGER) \
 		$(PROFILE_LEDGER) --threshold $(PERF_THRESHOLD) --min-seconds 0.02
+
+# Deep-profile one small cell (deterministic profiling is ~50x slower than
+# the bare run, so keep --size small); writes flamegraph artifacts under
+# results/prof/ and a record to results/runs/deep-profile.jsonl.
+DEEP_SIZE ?= 8
+deep-profile:
+	PYTHONPATH=src python -m repro deep-profile --curve bn128 \
+		--size $(DEEP_SIZE)
+
+# Model-vs-measured drift gate (docs/PROFILING.md); exit 1 on drift.
+drift-check:
+	PYTHONPATH=src python -m repro report --compare-model \
+		--curves bn128 --sizes 64
+
+# Regenerate the committed CI baseline ledger after an intentional perf
+# change (docs/PROFILING.md documents the workflow: run on a quiet
+# machine, eyeball the diff, commit with the change that justified it).
+refresh-baseline:
+	rm -f $(BASELINE_LEDGER)
+	PYTHONPATH=src python -m repro profile --curve bn128 --size 64 \
+		--label ci-baseline --ledger $(BASELINE_LEDGER)
 
 chaos:
 	@for seed in $(CHAOS_SEEDS); do \

@@ -1,0 +1,95 @@
+"""Measured Tables IV/V and Fig. 5 analog: one real deep-profiled run.
+
+The table4/table5 benchmarks assert the *modeled* artifacts; this one
+runs the five-stage protocol under the real-interpreter deep profiler
+(:mod:`repro.obs.prof`) and asserts the paper's shape claims against
+what CPython actually executed — hot functions concentrate in the
+arithmetic kernels, every stage's bytecode stream is data-flow heavy
+(the interpreter analog of Table V's x86 stream), allocations peak in
+the key-material stages — and closes the loop by running the drift
+gate against the cost model (docs/PROFILING.md).
+
+One deep-profiled run is ~50x slower than a bare one, so the size is
+small and the single run is shared by every test in this module.
+"""
+
+import pytest
+
+from repro.obs import drift, prof
+
+SIZE = 8
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    _wf, profiler = prof.deep_profile_run("bn128", SIZE)
+    return profiler
+
+
+def reduce_once(benchmark, fn):
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+class TestMeasuredTable4:
+    def test_crypto_stages_dominated_by_field_and_curve_kernels(
+            self, benchmark, profiled):
+        shares = reduce_once(benchmark, lambda: {
+            s: profiled.stages[s].family_shares()
+            for s in ("setup", "proving", "verifying")})
+        for stage, fams in shares.items():
+            crypto = sum(fams.get(f, 0.0)
+                         for f in ("bigint", "ec", "msm", "pairing", "fft"))
+            assert crypto > 0.7, (stage, fams)
+
+    def test_verifying_hottest_function_is_extension_field_mul(
+            self, benchmark, profiled):
+        # The paper's Table IV: verification is pairing work, which in this
+        # stack bottoms out in Fp2 tower multiplication.
+        hottest = reduce_once(
+            benchmark, lambda: profiled.stages["verifying"].functions[0])
+        assert hottest.family == "bigint"
+        assert "f2_mul" in hottest.qualname
+
+    def test_compile_and_witness_are_compiler_family(
+            self, benchmark, profiled):
+        shares = reduce_once(benchmark, lambda: {
+            s: profiled.stages[s].family_shares()
+            for s in ("compile", "witness")})
+        for stage, fams in shares.items():
+            assert fams.get("compiler", 0.0) > 0.5, (stage, fams)
+
+
+class TestMeasuredTable5:
+    def test_interpreter_stream_is_data_flow_heavy(self, benchmark, profiled):
+        # CPython's stack machine spends most opcodes moving operands;
+        # every stage must classify as data-flow intensive.
+        mixes = reduce_once(benchmark, lambda: {
+            s: p.opcode_shares() for s, p in profiled.stages.items()})
+        for stage, shares in mixes.items():
+            assert shares["data"] > shares["compute"], (stage, shares)
+            assert shares["data"] > shares["control"], (stage, shares)
+            assert shares["other"] < 10.0, (stage, shares)
+
+    def test_opcode_totals_scale_with_calls(self, benchmark, profiled):
+        totals = reduce_once(benchmark, lambda: [
+            sum(p.opcode_counts.values())
+            for p in sorted(profiled.stages.values(), key=lambda p: p.calls)])
+        assert totals == sorted(totals)
+
+
+class TestMeasuredFig5:
+    def test_allocation_peaks_in_key_material_stages(
+            self, benchmark, profiled):
+        alloc = reduce_once(benchmark, lambda: {
+            s: p.alloc["peak_kb"] for s, p in profiled.stages.items()})
+        assert alloc["proving"] > alloc["witness"]
+        assert alloc["setup"] > alloc["compile"]
+
+
+class TestDriftGate:
+    def test_measured_run_agrees_with_model(self, benchmark, profiled):
+        report = reduce_once(benchmark, lambda: drift.check_drift(
+            profiled.measured_blocks(),
+            drift.model_reference("bn128", SIZE),
+            curve="bn128", size=SIZE, workload="exponentiate"))
+        assert report.ok, "\n" + report.render_text()

@@ -7,7 +7,9 @@
     python -m repro verify DIR
     python -m repro lint [--circuit NAME] [--json] [--strict]
     python -m repro profile --curve bn128 --size 64 [--json]
-    python -m repro perf-check BASE.jsonl NEW.jsonl --threshold 10
+    python -m repro deep-profile --curve bn128 --size 8 [--json]
+    python -m repro report --compare-model [--sizes 64] [--curves bn128]
+    python -m repro perf-check BASE.jsonl NEW.jsonl --threshold 10 [--metric cpu]
     python -m repro sweep [--resume] [--sizes ...] [--curves ...]
     python -m repro chaos --seed 0 --faults 4
 
@@ -18,7 +20,12 @@ artifacts, rejecting corrupted blobs with a typed error; ``lint`` runs the
 constraint-system static analyzer (see docs/ANALYZER.md) over the built-in
 circuits and gadgets; ``profile`` runs the five stages under runtime
 telemetry (spans + metrics, docs/OBSERVABILITY.md) and appends a
-machine-fingerprinted record to the run ledger; ``perf-check`` diffs two
+machine-fingerprinted record to the run ledger; ``deep-profile`` runs the
+stages under the real-interpreter deep profiler (hot functions, measured
+opcode mix, allocations — docs/PROFILING.md) and writes collapsed-stack +
+speedscope flamegraph artifacts; ``report --compare-model`` re-measures a
+small sweep and gates the cost model against it via :mod:`repro.obs.drift`
+(exit 1 on drift); ``perf-check`` diffs two
 ledgers per (stage, curve, size) and exits non-zero on regression — the CI
 perf gate; ``sweep`` runs the profiling sweep with per-cell checkpoints so
 a killed run resumes (docs/ROBUSTNESS.md); ``chaos`` replays a seeded
@@ -166,6 +173,62 @@ def build_parser():
                          help="write the measured span tree as chrome-trace "
                               "JSON here")
 
+    deep = sub.add_parser(
+        "deep-profile",
+        help="run the five stages under the real-interpreter deep profiler "
+             "and write flamegraph artifacts (docs/PROFILING.md)",
+    )
+    deep.add_argument("--curve", type=_curve_name, default="bn128")
+    deep.add_argument("--size", type=int, default=8,
+                      help="constraint count of the workload circuit "
+                           "(keep small: deterministic profiling is slow)")
+    deep.add_argument("--workload", default="exponentiate",
+                      help="workload family (repro.harness.circuits.WORKLOADS)")
+    deep.add_argument("--seed", type=int, default=0)
+    deep.add_argument("--top", type=_positive_int, default=8,
+                      help="hot functions shown per stage (default 8)")
+    deep.add_argument("--json", action="store_true", dest="as_json",
+                      help="print the full ledger record instead of the "
+                           "hot-function / opcode / allocation report")
+    deep.add_argument("--no-alloc", action="store_true",
+                      help="skip tracemalloc allocation tracking (cheaper)")
+    deep.add_argument("--collapsed", default=None, metavar="PATH",
+                      help="collapsed-stack output path (default: "
+                           "results/prof/deep_<cell>.collapsed.txt)")
+    deep.add_argument("--speedscope", default=None, metavar="PATH",
+                      help="speedscope JSON output path (default: "
+                           "results/prof/deep_<cell>.speedscope.json)")
+    deep.add_argument("--no-artifacts", action="store_true",
+                      help="do not write the flamegraph artifacts")
+    deep.add_argument("--ledger", default=None, metavar="PATH",
+                      help="ledger file to append to (default: "
+                           "results/runs/deep-profile.jsonl; kept apart "
+                           "from profile.jsonl because profiled wall "
+                           "times carry profiler overhead)")
+    deep.add_argument("--no-ledger", action="store_true",
+                      help="do not append a ledger record")
+    deep.add_argument("--label", default=None,
+                      help="free-form label stored in the record")
+
+    report = sub.add_parser(
+        "report",
+        help="gate the cost model against deep-profiled reality; exit 1 "
+             "on model drift (docs/PROFILING.md)",
+    )
+    report.add_argument("--compare-model", action="store_true",
+                        help="re-measure each cell under the deep profiler "
+                             "and diff against the modeled Tables IV/V")
+    report.add_argument("--sizes", type=_parse_sizes, default=(64,),
+                        help="comma-separated constraint counts (default 64)")
+    report.add_argument("--curves", type=_parse_curves, default=("bn128",))
+    report.add_argument("--workload", default="exponentiate")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--model-json", default=None, metavar="PATH",
+                        help="load the modeled reference from this JSON "
+                             "file ({stage: {family_shares, opcode_shares}}) "
+                             "instead of computing it from repro.perf")
+    report.add_argument("--json", action="store_true", dest="as_json")
+
     check = sub.add_parser(
         "perf-check",
         help="diff two run ledgers per (stage, curve, size); exit 1 on "
@@ -179,6 +242,15 @@ def build_parser():
     check.add_argument("--min-seconds", type=float, default=0.001,
                        help="ignore slowdowns smaller than this many "
                             "seconds (noise floor, default 0.001)")
+    check.add_argument("--metric", choices=("wall", "cpu", "rss"),
+                       default="wall",
+                       help="per-stage metric to gate on: wall seconds "
+                            "(default), span CPU seconds, or span peak-RSS "
+                            "delta in KB")
+    check.add_argument("--min-delta", type=float, default=None,
+                       help="metric-unit noise floor overriding "
+                            "--min-seconds (KB for --metric rss, "
+                            "default 256)")
     check.add_argument("--json", action="store_true", dest="as_json")
 
     sweep = sub.add_parser(
@@ -239,7 +311,11 @@ def cmd_list(_args, out=print):
     out("also: 'repro prove' (one protocol run), "
         "'repro lint' (circuit static analysis),")
     out("      'repro profile' (runtime telemetry + run ledger), "
-        "'repro perf-check' (ledger diff gate)")
+        "'repro perf-check' (ledger diff gate),")
+    out("      'repro deep-profile' (measured hot functions / opcode mix "
+        "/ allocations + flamegraphs),")
+    out("      'repro report --compare-model' (model-vs-measured drift "
+        "gate)")
     return 0
 
 
@@ -321,10 +397,9 @@ def cmd_verify(args, out=print):
 
 
 def cmd_profile(args, out=print):
-    import json
-
     from repro.curves import get_curve
     from repro.harness.circuits import build_workload
+    from repro.obs import format as obs_format
     from repro.obs import ledger, metrics, spans
     from repro.perf.export import spans_to_chrome_trace, stages_to_chrome_trace
     from repro.perf.trace import Tracer
@@ -366,24 +441,111 @@ def cmd_profile(args, out=print):
         label=args.label,
     )
     if args.chrome_trace:
-        with open(args.chrome_trace, "w") as f:
-            f.write(stages_to_chrome_trace(tracers))
+        obs_format.write_artifact(args.chrome_trace,
+                                  stages_to_chrome_trace(tracers),
+                                  out, "chrome-trace", quiet=True)
     if args.span_trace:
-        with open(args.span_trace, "w") as f:
-            f.write(spans_to_chrome_trace(rec.root))
+        obs_format.write_artifact(args.span_trace,
+                                  spans_to_chrome_trace(rec.root),
+                                  out, "span-trace", quiet=True)
 
-    if args.as_json:
-        out(json.dumps(record, indent=2, sort_keys=True))
-    else:
-        out(spans.render_spans(rec.root))
-        out("")
-        out(registry.render_text())
+    obs_format.emit_record(record, args.as_json, out, render=[
+        lambda: spans.render_spans(rec.root),
+        registry.render_text,
+    ])
     if not args.no_ledger:
         path = args.ledger or os.path.join(ledger.DEFAULT_DIR, "profile.jsonl")
-        ledger.Ledger(path).append(record)
-        if not args.as_json:
-            out(f"ledger: appended 1 record to {path}")
+        obs_format.append_record(record, path, out, quiet=args.as_json)
     return 0
+
+
+def cmd_deep_profile(args, out=print):
+    from repro.obs import format as obs_format
+    from repro.obs import ledger, prof
+    from repro.perf.export import collapsed_to_text, to_speedscope
+    from repro.workflow import STAGES
+
+    try:
+        wf, profiler = prof.deep_profile_run(
+            args.curve, args.size, workload=args.workload, seed=args.seed,
+            alloc=not args.no_alloc,
+        )
+    except (KeyError, ValueError) as exc:
+        out(f"bad workload cell: {exc}")
+        return 2
+
+    record = ledger.make_record(
+        kind="deep-profile",
+        curve=args.curve,
+        size=args.size,
+        workload=args.workload,
+        seed=args.seed,
+        stages=[wf.results[s].to_record() for s in STAGES],
+        metrics=None,
+        label=args.label,
+        profile=profiler.to_profile_block(),
+    )
+
+    obs_format.emit_record(record, args.as_json, out, render=[
+        lambda: prof.render_deep_profile(profiler, top=args.top),
+    ])
+    if not args.no_artifacts:
+        cell = f"deep_{args.workload}_{args.curve}_{args.size}"
+        base = os.path.join("results", "prof")
+        stacks = profiler.stage_stacks()
+        obs_format.write_artifact(
+            args.collapsed or os.path.join(base, f"{cell}.collapsed.txt"),
+            collapsed_to_text(stacks), out, "collapsed", quiet=args.as_json)
+        obs_format.write_artifact(
+            args.speedscope or os.path.join(base, f"{cell}.speedscope.json"),
+            to_speedscope(stacks, name=cell), out, "speedscope",
+            quiet=args.as_json)
+    if not args.no_ledger:
+        path = args.ledger or os.path.join(ledger.DEFAULT_DIR,
+                                           "deep-profile.jsonl")
+        obs_format.append_record(record, path, out, quiet=args.as_json)
+    return 0
+
+
+def cmd_report(args, out=print):
+    import json
+
+    from repro.obs import drift, prof
+
+    if not args.compare_model:
+        out("nothing to report: pass --compare-model")
+        return 2
+
+    modeled_from_file = None
+    if args.model_json:
+        with open(args.model_json) as f:
+            modeled_from_file = json.load(f)
+
+    reports = []
+    for curve in args.curves:
+        for size in args.sizes:
+            # Allocation tracking is irrelevant to drift and not free;
+            # measure the cheapest profile that still attributes time.
+            _wf, profiler = prof.deep_profile_run(
+                curve, size, workload=args.workload, seed=args.seed,
+                alloc=False,
+            )
+            modeled = (modeled_from_file
+                       if modeled_from_file is not None
+                       else drift.model_reference(curve, size,
+                                                  workload=args.workload,
+                                                  seed=args.seed))
+            reports.append(drift.check_drift(
+                profiler.measured_blocks(), modeled,
+                curve=curve, size=size, workload=args.workload,
+            ))
+
+    if args.as_json:
+        out(json.dumps([r.to_dict() for r in reports], indent=2,
+                       sort_keys=True))
+    else:
+        out("\n\n".join(r.render_text() for r in reports))
+    return 0 if all(r.ok for r in reports) else 1
 
 
 def cmd_perf_check(args, out=print):
@@ -397,7 +559,8 @@ def cmd_perf_check(args, out=print):
         out(f"cannot read ledger: {exc}")
         return 2
     report = perf_check(base, new, threshold_pct=args.threshold,
-                        min_seconds=args.min_seconds)
+                        min_seconds=args.min_seconds, metric=args.metric,
+                        min_delta=args.min_delta)
     out(report.to_json(indent=2) if args.as_json else report.render_text())
     if not report.deltas:
         return 2
@@ -493,7 +656,8 @@ def main(argv=None, out=print):
     args = build_parser().parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "prove": cmd_prove,
                "verify": cmd_verify, "lint": cmd_lint,
-               "profile": cmd_profile, "perf-check": cmd_perf_check,
+               "profile": cmd_profile, "deep-profile": cmd_deep_profile,
+               "report": cmd_report, "perf-check": cmd_perf_check,
                "sweep": cmd_sweep, "chaos": cmd_chaos}[args.command]
     try:
         return handler(args, out=out)

@@ -12,21 +12,29 @@ unless a ledger is installed (:func:`install`, :func:`recording_to`, or
 the ``REPRO_LEDGER=<path>`` environment variable at import time), so the
 test suite's thousands of workflow runs write nothing.
 
-Record schema (version 1) — see ``docs/OBSERVABILITY.md`` for a worked
+Record schema (version 2) — see ``docs/OBSERVABILITY.md`` for a worked
 example::
 
     {
-      "schema": 1,
-      "kind": "profile" | "workflow" | "profile_run",
+      "schema": 2,
+      "kind": "profile" | "workflow" | "profile_run" | "deep-profile",
       "ts": <unix seconds>,
       "label": <free-form or null>,
       "machine": {...machine_fingerprint()...},
       "machine_id": "<12-hex digest of machine>",
       "git": {"rev": "<sha>", "dirty": false} | null,
       "curve": "bn128", "size": 64, "workload": "exponentiate", "seed": 0,
-      "stages": [ {"stage", "elapsed_s", "span": {...}|null}, ... ],
-      "metrics": {...MetricsRegistry.snapshot()...} | null
+      "stages": [ {"stage", "elapsed_s", "span": {...}|null,
+                   "cpu_s"?, "rss_peak_delta_kb"?, "gc_collections"?}, ... ],
+      "metrics": {...MetricsRegistry.snapshot()...} | null,
+      "profile": {...DeepProfiler.to_profile_block()...} | null
     }
+
+Version history: v1 had no ``profile`` field and no lifted per-stage
+``cpu_s``/``rss_peak_delta_kb``/``gc_collections``.  Readers treat both
+as optional, so v1 ledgers keep loading and ``perf-check`` works across
+mixed-version ledgers (``--metric cpu``/``rss`` simply skips v1 cells
+whose stage records carry no span).
 """
 
 from __future__ import annotations
@@ -49,7 +57,7 @@ __all__ = [
     "uninstall",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Conventional ledger directory (relative to the working directory).
 DEFAULT_DIR = os.path.join("results", "runs")
@@ -79,11 +87,13 @@ class Ledger:
 
 
 def make_record(kind, curve, size, workload, stages, seed=None, metrics=None,
-                label=None):
-    """Assemble one schema-v1 record.
+                label=None, profile=None):
+    """Assemble one schema-v2 record.
 
     *stages* is a list of stage dicts (``StageResult.to_record()`` shape);
-    *metrics* a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.
+    *metrics* a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`;
+    *profile* a :meth:`~repro.obs.prof.DeepProfiler.to_profile_block`
+    (``None`` for unprofiled runs).
     """
     fp = machine_fingerprint()
     return {
@@ -100,6 +110,7 @@ def make_record(kind, curve, size, workload, stages, seed=None, metrics=None,
         "seed": seed,
         "stages": list(stages),
         "metrics": metrics,
+        "profile": profile,
     }
 
 

@@ -3,17 +3,27 @@
 ``perf_check(base, new, threshold_pct)`` indexes each ledger by
 ``(workload, curve, size, stage)`` — keeping only the *latest* record per
 cell, so ledgers can accumulate history — and flags every stage whose new
-wall time exceeds the baseline by more than the threshold.  Cells missing
+value exceeds the baseline by more than the threshold.  The compared
+*metric* is wall seconds by default; ``metric="cpu"`` gates on span CPU
+seconds and ``metric="rss"`` on the span's peak-RSS delta (KB), read from
+the lifted v2 stage fields with a fallback into the span block, so both
+v1-with-spans and v2 records participate.  Records carrying neither
+(plain v1, span-less runs) simply contribute no cell for the non-wall
+metrics — they are skipped, not failed.  Cells missing
 from either side are reported but do not fail the gate (a widened sweep
 must not break CI); an *empty* intersection does fail it, because a gate
 that compared nothing proves nothing.
 
 Tiny stages are noise-dominated (a 0.8 ms verify jumping to 1.1 ms is a
 37 % "regression" of scheduler jitter), so comparisons also require the
-absolute slowdown to exceed ``min_seconds``.
+absolute slowdown to exceed ``min_delta`` — seconds for wall/cpu
+(``min_seconds`` is its historical spelling and stays the wall/cpu
+default), KB for rss (where allocator rounding makes small deltas
+meaningless; default 256 KB).
 
-This is the CLI's ``python -m repro perf-check A B --threshold PCT`` and
-the CI ``perf-smoke`` job's exit criterion.
+This is the CLI's ``python -m repro perf-check A B --threshold PCT
+[--metric {wall,cpu,rss}]`` and the CI ``perf-smoke`` job's exit
+criterion.
 """
 
 from __future__ import annotations
@@ -21,12 +31,23 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
-__all__ = ["CellDelta", "PerfCheckReport", "perf_check"]
+__all__ = ["CellDelta", "METRICS", "PerfCheckReport", "perf_check"]
+
+#: Comparable per-stage metrics: wall seconds, span CPU seconds, span
+#: peak-RSS delta in KB.
+METRICS = ("wall", "cpu", "rss")
+
+#: Default minimum absolute slowdown per metric (seconds or KB).
+_DEFAULT_MIN_DELTA = {"wall": 0.001, "cpu": 0.001, "rss": 256.0}
 
 
 @dataclass
 class CellDelta:
-    """One compared (stage, curve, size) cell."""
+    """One compared (stage, curve, size) cell.
+
+    ``base_s`` / ``new_s`` hold the compared metric's values — seconds
+    for wall/cpu, KB for rss (the field names predate the rss metric).
+    """
 
     workload: str
     curve: str
@@ -45,10 +66,11 @@ class CellDelta:
 @dataclass
 class PerfCheckReport:
     threshold_pct: float
-    min_seconds: float
+    min_seconds: float            # the min_delta actually applied
     deltas: list
     missing_in_new: list
     missing_in_base: list
+    metric: str = "wall"
 
     @property
     def regressions(self):
@@ -59,17 +81,24 @@ class PerfCheckReport:
         """True iff something was compared and nothing regressed."""
         return bool(self.deltas) and not self.regressions
 
+    def _fmt(self, value):
+        if self.metric == "rss":
+            return f"{value:9.0f}kb"
+        return f"{value * 1e3:9.2f}ms"
+
     def render_text(self):
+        min_abs = (f"{self.min_seconds:.0f} kb" if self.metric == "rss"
+                   else f"{self.min_seconds * 1e3:.1f} ms")
         lines = [
-            f"perf-check: threshold {self.threshold_pct:+.1f}% "
-            f"(min abs {self.min_seconds * 1e3:.1f} ms), "
+            f"perf-check[{self.metric}]: threshold {self.threshold_pct:+.1f}% "
+            f"(min abs {min_abs}), "
             f"{len(self.deltas)} cell(s) compared",
         ]
         for d in sorted(self.deltas, key=lambda d: -d.delta_pct):
             mark = "REGRESSED" if d.regressed else "ok"
             lines.append(
                 f"  {mark:9s} {d.cell:<45s} "
-                f"{d.base_s * 1e3:9.2f}ms -> {d.new_s * 1e3:9.2f}ms "
+                f"{self._fmt(d.base_s)} -> {self._fmt(d.new_s)} "
                 f"({d.delta_pct:+7.1f}%)"
             )
         for cell in self.missing_in_new:
@@ -87,6 +116,7 @@ class PerfCheckReport:
 
     def to_json(self, indent=None):
         return json.dumps({
+            "metric": self.metric,
             "threshold_pct": self.threshold_pct,
             "min_seconds": self.min_seconds,
             "compared": len(self.deltas),
@@ -97,23 +127,44 @@ class PerfCheckReport:
         }, indent=indent)
 
 
-def _stage_wall(stage_rec):
-    """Wall seconds of one stage record: the span's measured wall time when
-    present, else the workflow's ``elapsed_s``."""
+#: Per-metric (lifted v2 field, span-block field) lookup order.
+_SPAN_FIELDS = {"cpu": ("cpu_s", "cpu_s"), "rss": ("rss_peak_delta_kb",
+                                                   "rss_peak_delta_kb")}
+
+
+def _stage_value(stage_rec, metric):
+    """The *metric*'s value for one stage record, or ``None`` when the
+    record does not carry it (v1 without spans, for cpu/rss).
+
+    Wall: the span's measured wall time when present, else the workflow's
+    ``elapsed_s``.  CPU/RSS: the lifted v2 top-level field when present,
+    else the same field inside the span block.
+    """
     span = stage_rec.get("span")
-    if span and "wall_s" in span:
-        return float(span["wall_s"])
-    return float(stage_rec.get("elapsed_s", 0.0))
+    if metric == "wall":
+        if span and "wall_s" in span:
+            return float(span["wall_s"])
+        return float(stage_rec.get("elapsed_s", 0.0))
+    lifted, in_span = _SPAN_FIELDS[metric]
+    if lifted in stage_rec:
+        return float(stage_rec[lifted])
+    if span and in_span in span:
+        return float(span[in_span])
+    return None
 
 
-def _index(records):
-    """Latest wall time per (workload, curve, size, stage) cell."""
+def _index(records, metric="wall"):
+    """Latest *metric* value per (workload, curve, size, stage) cell;
+    stage records without the metric contribute no cell."""
     cells = {}
     for rec in records:
         if not rec.get("stages"):
             continue
         ts = rec.get("ts", 0)
         for stage_rec in rec["stages"]:
+            value = _stage_value(stage_rec, metric)
+            if value is None:
+                continue
             key = (
                 str(rec.get("workload")),
                 str(rec.get("curve")),
@@ -122,8 +173,8 @@ def _index(records):
             )
             prev = cells.get(key)
             if prev is None or ts >= prev[0]:
-                cells[key] = (ts, _stage_wall(stage_rec))
-    return {key: wall for key, (ts, wall) in cells.items()}
+                cells[key] = (ts, value)
+    return {key: value for key, (ts, value) in cells.items()}
 
 
 def _cell_name(key):
@@ -131,23 +182,30 @@ def _cell_name(key):
     return f"{workload}/{curve}/{size}/{stage}"
 
 
-def perf_check(base_records, new_records, threshold_pct=10.0, min_seconds=0.001):
+def perf_check(base_records, new_records, threshold_pct=10.0,
+               min_seconds=0.001, metric="wall", min_delta=None):
     """Compare two ledgers' record lists; returns a :class:`PerfCheckReport`.
 
     A cell regresses when ``new > base * (1 + threshold_pct/100)`` **and**
-    ``new - base > min_seconds``.
+    ``new - base > min_delta``.  *min_delta* defaults per metric:
+    *min_seconds* (historically 1 ms) for wall/cpu, 256 KB for rss.
     """
     if threshold_pct < 0:
         raise ValueError(f"threshold must be non-negative, got {threshold_pct}")
-    base = _index(base_records)
-    new = _index(new_records)
+    if metric not in METRICS:
+        raise ValueError(f"unknown metric {metric!r}; expected one of {METRICS}")
+    if min_delta is None:
+        min_delta = min_seconds if metric in ("wall", "cpu") \
+            else _DEFAULT_MIN_DELTA[metric]
+    base = _index(base_records, metric)
+    new = _index(new_records, metric)
     deltas = []
     for key in sorted(base.keys() & new.keys(), key=_cell_name):
         base_s, new_s = base[key], new[key]
         delta_pct = ((new_s - base_s) / base_s * 100.0) if base_s > 0 else 0.0
         regressed = (
             new_s > base_s * (1.0 + threshold_pct / 100.0)
-            and (new_s - base_s) > min_seconds
+            and (new_s - base_s) > min_delta
         )
         workload, curve, size, stage = key
         deltas.append(CellDelta(
@@ -157,8 +215,9 @@ def perf_check(base_records, new_records, threshold_pct=10.0, min_seconds=0.001)
         ))
     return PerfCheckReport(
         threshold_pct=threshold_pct,
-        min_seconds=min_seconds,
+        min_seconds=min_delta,
         deltas=deltas,
+        metric=metric,
         missing_in_new=[_cell_name(k) for k in sorted(base.keys() - new.keys(),
                                                       key=_cell_name)],
         missing_in_base=[_cell_name(k) for k in sorted(new.keys() - base.keys(),

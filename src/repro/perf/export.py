@@ -9,6 +9,17 @@ one (each stage on its own pid track), ``spans_to_chrome_trace`` renders
 a *measured* :mod:`repro.obs.spans` tree on real wall-clock time, and
 ``counters_to_csv`` dumps the primitive counters for spreadsheet
 workflows.
+
+The deep profiler's collapsed stacks (:mod:`repro.obs.prof`) export two
+ways: ``collapsed_to_text`` emits the classic ``flamegraph.pl`` /
+``inferno`` input format (one ``stack weight`` line per unique stack) and
+``to_speedscope`` emits a speedscope JSON document with one sampled
+profile per protocol stage.
+
+Stage ordering is deterministic everywhere: the five canonical protocol
+stages first (Fig. 1 order), then any extra keys sorted — so two exports
+of the same run are byte-identical regardless of dict construction order,
+and pid/profile indices are stable across machines.
 """
 
 from __future__ import annotations
@@ -18,11 +29,24 @@ import json
 from repro.perf.costmodel import aggregate
 
 __all__ = [
+    "collapsed_to_text",
     "counters_to_csv",
     "spans_to_chrome_trace",
     "stages_to_chrome_trace",
     "to_chrome_trace",
+    "to_speedscope",
 ]
+
+#: Canonical stage order (mirrors ``repro.workflow.STAGES``, which this
+#: low-level module must not import).
+_STAGE_ORDER = ("compile", "setup", "witness", "proving", "verifying")
+
+
+def _ordered_stages(mapping):
+    """Keys of *mapping* in canonical protocol order, extras sorted last."""
+    known = [s for s in _STAGE_ORDER if s in mapping]
+    extras = sorted(k for k in mapping if k not in _STAGE_ORDER)
+    return known + extras
 
 
 def _region_cycles(rec, memo):
@@ -82,12 +106,15 @@ def stages_to_chrome_trace(stage_tracers, freq_ghz=3.0):
 
     *stage_tracers* maps stage name -> :class:`~repro.perf.trace.Tracer`;
     each stage is rendered with :func:`to_chrome_trace` and lands on its
-    own ``pid`` track (in mapping order), so the five protocol stages line
-    up side by side in Perfetto.
+    own ``pid`` track (canonical protocol order, extras sorted), so the
+    five protocol stages line up side by side in Perfetto and pid
+    assignment does not depend on mapping construction order.
     """
     events = []
     labels = {}
-    for pid, (stage, tracer) in enumerate(stage_tracers.items(), start=1):
+    ordered = _ordered_stages(stage_tracers)
+    for pid, stage in enumerate(ordered, start=1):
+        tracer = stage_tracers[stage]
         doc = json.loads(to_chrome_trace(tracer, freq_ghz=freq_ghz, pid=pid))
         for ev in doc["traceEvents"]:
             if ev["name"] == "<root>":
@@ -140,3 +167,72 @@ def counters_to_csv(tracer):
         for prim, count in sorted(rec.counts.items()):
             lines.append(f"{rec.name},{prim},{count}")
     return "\n".join(lines) + "\n"
+
+
+def collapsed_to_text(stage_stacks):
+    """Collapsed stacks as ``flamegraph.pl`` input (a string).
+
+    *stage_stacks* maps stage name -> ``{collapsed-stack: seconds}`` (the
+    deep profiler's :meth:`~repro.obs.prof.DeepProfiler.stage_stacks`).
+    Each line is ``stage;mod:fn;mod:fn... weight`` with the weight in
+    microseconds (flamegraph tooling expects integer sample counts; zero
+    weights after rounding are dropped).  Lines are ordered by stage, then
+    by stack, so the artifact diffs cleanly between runs.
+    """
+    lines = []
+    for stage in _ordered_stages(stage_stacks):
+        for stack, secs in sorted(stage_stacks[stage].items()):
+            us = round(secs * 1e6)
+            if us <= 0:
+                continue
+            lines.append(f"{stage};{stack} {us}")
+    return "\n".join(lines) + "\n"
+
+
+def to_speedscope(stage_stacks, name="repro deep profile"):
+    """Collapsed stacks as a speedscope JSON document (a string).
+
+    One ``sampled`` profile per stage (canonical order) over a shared
+    frame table; weights are seconds of self time.  Open the written file
+    at https://www.speedscope.app or with a local speedscope install.
+    Frame indices are assigned in first-seen order over the
+    deterministically ordered stacks, so the document is reproducible.
+    """
+    frames = []
+    frame_index = {}
+
+    def frame_of(label):
+        idx = frame_index.get(label)
+        if idx is None:
+            idx = frame_index[label] = len(frames)
+            frames.append({"name": label})
+        return idx
+
+    profiles = []
+    for stage in _ordered_stages(stage_stacks):
+        samples = []
+        weights = []
+        total = 0.0
+        for stack, secs in sorted(stage_stacks[stage].items()):
+            if secs <= 0:
+                continue
+            samples.append([frame_of(f) for f in stack.split(";")])
+            weights.append(round(secs, 9))
+            total += secs
+        profiles.append({
+            "type": "sampled",
+            "name": stage,
+            "unit": "seconds",
+            "startValue": 0,
+            "endValue": round(total, 9),
+            "samples": samples,
+            "weights": weights,
+        })
+    return json.dumps({
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": name,
+        "activeProfileIndex": 0,
+        "exporter": "repro.perf.export",
+        "shared": {"frames": frames},
+        "profiles": profiles,
+    }, indent=1)

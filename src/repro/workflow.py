@@ -19,7 +19,7 @@ from typing import Any, Optional
 
 from repro.circuit.compiler import compile_circuit
 from repro.groth16 import generate_witness, prove, public_inputs, setup, verify
-from repro.obs import ledger, metrics, spans
+from repro.obs import ledger, metrics, prof, spans
 from repro.obs.spans import Span
 from repro.perf import trace
 from repro.perf.trace import Tracer
@@ -44,12 +44,23 @@ class StageResult:
 
     def to_record(self):
         """The stage's ledger-record form — the one serialization shared by
-        the workflow, the harness and the obs layer."""
-        return {
+        the workflow, the harness and the obs layer.
+
+        When a span was recorded, its CPU time, peak-RSS delta and GC
+        count are also lifted to the top level so the perf gate
+        (``perf-check --metric {wall,cpu,rss}``) can index them without
+        digging through span trees.
+        """
+        rec = {
             "stage": self.stage,
             "elapsed_s": round(self.elapsed, 6),
             "span": self.span.to_dict() if self.span is not None else None,
         }
+        if self.span is not None:
+            rec["cpu_s"] = round(self.span.cpu_s, 6)
+            rec["rss_peak_delta_kb"] = self.span.rss_peak_delta_kb
+            rec["gc_collections"] = self.span.gc_collections
+        return rec
 
 
 class Workflow:
@@ -127,6 +138,17 @@ class Workflow:
         with trace.tracing(tracer):
             return impl()
 
+    def _execute_profiled(self, stage, impl, tracer):
+        """Run the stage body, under the deep profiler when one is the
+        process-global :data:`repro.obs.prof.CURRENT` — the same
+        ``CURRENT is None`` guard as spans and faults, so unprofiled
+        runs pay one attribute read."""
+        profiler = prof.CURRENT
+        if profiler is None:
+            return self._execute(impl, tracer)
+        with profiler.stage(stage):
+            return self._execute(impl, tracer)
+
     def run_stage(self, stage, tracer=None):
         """Execute one stage, optionally under *tracer*; returns a
         :class:`StageResult` (also recorded in :attr:`results`).
@@ -154,11 +176,11 @@ class Workflow:
 
         def body():
             if spans.CURRENT is None:
-                return self._execute(impl, tracer)
+                return self._execute_profiled(stage, impl, tracer)
             with spans.span(stage, curve=self.curve.name,
                             circuit=self.builder.name) as sp:
                 recorded_spans.append(sp)
-                artifact = self._execute(impl, tracer)
+                artifact = self._execute_profiled(stage, impl, tracer)
                 if tracer is not None:
                     spans.attach_counters(tracer.total_counts())
             return artifact
@@ -190,6 +212,7 @@ class Workflow:
             self.run_stage(stage, tracers.get(stage))
         if ledger.CURRENT is not None:
             registry = metrics.CURRENT
+            profiler = prof.CURRENT
             ledger.CURRENT.append(ledger.make_record(
                 kind="workflow",
                 curve=self.curve.name,
@@ -198,5 +221,7 @@ class Workflow:
                 seed=self.seed,
                 stages=[self.results[s].to_record() for s in STAGES],
                 metrics=registry.snapshot() if registry is not None else None,
+                profile=(profiler.to_profile_block()
+                         if profiler is not None else None),
             ))
         return self.results

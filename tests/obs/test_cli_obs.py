@@ -51,8 +51,12 @@ class TestProfileCommand:
                              "--ledger", str(tmp_path / "led.jsonl")])
         assert code == 0
         rec = json.loads(out)
-        assert rec["schema"] == 1
+        assert rec["schema"] == 2
         assert rec["metrics"]["counters"]["repro_groth16_verify_total"] == 1
+        assert rec["profile"] is None  # plain profile carries no deep block
+        # v2 lifts span cpu/rss/gc to the stage record for perf-check
+        for s in rec["stages"]:
+            assert "cpu_s" in s and "rss_peak_delta_kb" in s
 
     def test_no_ledger_writes_nothing(self, tmp_path):
         path = tmp_path / "led.jsonl"
@@ -138,3 +142,192 @@ class TestPerfCheckCommand:
                              "--min-seconds", "0.05"])
         assert code == 0
         assert "5 cell(s) compared" in out
+
+
+def fake_deep_run(monkeypatch):
+    """Patch prof.deep_profile_run with a fast fake: a real DeepProfiler
+    fed synthetic per-stage work, plus a workflow carrying StageResults —
+    the CLI's downstream handling (record, artifacts, ledger) stays real.
+    """
+    from repro.obs import prof
+    from repro.workflow import StageResult
+
+    def busy():
+        return sum(i * i for i in range(200))
+
+    def fake(curve_name, size, workload="exponentiate", seed=0, alloc=True):
+        if workload not in ("exponentiate", "hash_chain", "matmul"):
+            raise KeyError(workload)
+        profiler = prof.DeepProfiler(alloc=alloc)
+        results = {}
+        for stage in STAGES:
+            with profiler.stage(stage):
+                busy()
+            results[stage] = StageResult(stage=stage, artifact=1,
+                                         elapsed=0.001)
+
+        class FakeWorkflow:
+            pass
+
+        wf = FakeWorkflow()
+        wf.results = results
+        wf.accepted = True
+        return wf, profiler
+
+    monkeypatch.setattr(prof, "deep_profile_run", fake)
+
+
+class TestDeepProfileCommand:
+    def test_report_artifacts_and_ledger_record(self, tmp_path, monkeypatch):
+        fake_deep_run(monkeypatch)
+        monkeypatch.chdir(tmp_path)  # default artifact paths are relative
+        led = str(tmp_path / "led.jsonl")
+        code, out = run_cli(["deep-profile", "--size", "4", "--ledger", led])
+        assert code == 0
+        for stage in STAGES:
+            assert stage in out
+        assert "compute%" in out          # measured opcode table
+        assert "family" in out            # hot-function table header
+        collapsed = tmp_path / "results" / "prof" / \
+            "deep_exponentiate_bn128_4.collapsed.txt"
+        speedscope = tmp_path / "results" / "prof" / \
+            "deep_exponentiate_bn128_4.speedscope.json"
+        assert collapsed.exists() and speedscope.exists()
+        # The CLI reports the (relative) artifact paths it wrote.
+        assert "deep_exponentiate_bn128_4.collapsed.txt" in out
+        assert "deep_exponentiate_bn128_4.speedscope.json" in out
+        first = collapsed.read_text().splitlines()[0]
+        assert first.startswith("compile;")
+        doc = json.loads(speedscope.read_text())
+        assert [p["name"] for p in doc["profiles"]] == list(STAGES)
+        records = read_ledger(led)
+        assert len(records) == 1
+        rec = records[0]
+        assert rec["kind"] == "deep-profile"
+        assert rec["schema"] == 2
+        assert rec["profile"]["profiler"]["backend"] == "sys.setprofile"
+        assert set(rec["profile"]["stages"]) == set(STAGES)
+        for stage_block in rec["profile"]["stages"].values():
+            assert "family_shares" in stage_block
+            assert "opcode_shares" in stage_block
+
+    def test_json_output_is_the_record(self, tmp_path, monkeypatch):
+        fake_deep_run(monkeypatch)
+        monkeypatch.chdir(tmp_path)
+        code, out = run_cli(["deep-profile", "--size", "4", "--no-ledger",
+                             "--no-artifacts", "--json"])
+        assert code == 0
+        rec = json.loads(out)
+        assert rec["kind"] == "deep-profile"
+        assert rec["profile"] is not None
+
+    def test_no_artifacts_flag(self, tmp_path, monkeypatch):
+        fake_deep_run(monkeypatch)
+        monkeypatch.chdir(tmp_path)
+        code, _ = run_cli(["deep-profile", "--size", "4", "--no-ledger",
+                           "--no-artifacts"])
+        assert code == 0
+        assert not (tmp_path / "results").exists()
+
+    def test_explicit_artifact_paths(self, tmp_path, monkeypatch):
+        fake_deep_run(monkeypatch)
+        c = tmp_path / "x.collapsed"
+        s = tmp_path / "x.speedscope.json"
+        code, _ = run_cli(["deep-profile", "--size", "4", "--no-ledger",
+                           "--collapsed", str(c), "--speedscope", str(s)])
+        assert code == 0
+        assert c.exists() and s.exists()
+
+    def test_unknown_workload_is_usage_error(self, monkeypatch):
+        fake_deep_run(monkeypatch)
+        code, out = run_cli(["deep-profile", "--size", "4", "--no-ledger",
+                             "--no-artifacts", "--workload", "bogus"])
+        assert code == 2
+        assert "bad workload" in out
+
+
+class TestReportCompareModel:
+    """The drift gate through the CLI.  Measurement is stubbed (full
+    deep-profiled runs take minutes; CI's drift-smoke job runs one for
+    real); the modeled side comes from --model-json fixtures, proving the
+    gate can pass AND fail."""
+
+    MEASURED = {
+        "setup": {"wall_s": 1.0,
+                  "family_shares": {"bigint": 0.5, "ec": 0.45, "msm": 0.05},
+                  "opcode_shares": {"compute": 6.0, "control": 25.0,
+                                    "data": 65.0, "other": 4.0}},
+        "proving": {"wall_s": 1.0,
+                    "family_shares": {"ec": 0.6, "bigint": 0.35, "msm": 0.05},
+                    "opcode_shares": {"compute": 6.0, "control": 25.0,
+                                      "data": 65.0, "other": 4.0}},
+        "verifying": {"wall_s": 1.0,
+                      "family_shares": {"bigint": 0.95, "pairing": 0.05},
+                      "opcode_shares": {"compute": 6.0, "control": 25.0,
+                                        "data": 65.0, "other": 4.0}},
+    }
+    GOOD_MODEL = {
+        "setup": {"family_shares": {"bigint": 0.97, "ec": 0.02, "msm": 0.01},
+                  "opcode_shares": {"compute": 45.0, "control": 20.0,
+                                    "data": 35.0, "other": 0.0}},
+        "proving": {"family_shares": {"bigint": 0.96, "ec": 0.03,
+                                      "msm": 0.01},
+                    "opcode_shares": {"compute": 45.0, "control": 20.0,
+                                      "data": 35.0, "other": 0.0}},
+        "verifying": {"family_shares": {"bigint": 0.98, "pairing": 0.02},
+                      "opcode_shares": {"compute": 45.0, "control": 20.0,
+                                        "data": 35.0, "other": 0.0}},
+    }
+
+    def stub_measurement(self, monkeypatch):
+        from repro.obs import prof
+
+        class FakeProfiler:
+            def measured_blocks(inner):
+                return self.MEASURED
+
+        monkeypatch.setattr(
+            prof, "deep_profile_run",
+            lambda *a, **kw: (None, FakeProfiler()))
+
+    def write_model(self, tmp_path, model):
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps(model))
+        return str(path)
+
+    def test_agreeing_model_exits_zero(self, tmp_path, monkeypatch):
+        self.stub_measurement(monkeypatch)
+        code, out = run_cli(["report", "--compare-model", "--model-json",
+                             self.write_model(tmp_path, self.GOOD_MODEL)])
+        assert code == 0
+        assert "model and measurement agree" in out
+
+    def test_perturbed_model_exits_one(self, tmp_path, monkeypatch):
+        """The acceptance fixture: a deliberately wrong model must trip
+        the gate."""
+        bad = json.loads(json.dumps(self.GOOD_MODEL))
+        bad["proving"]["family_shares"] = {"hash": 0.7, "parser": 0.2,
+                                           "fft": 0.1}
+        bad["proving"]["opcode_shares"] = {"compute": 5.0, "control": 20.0,
+                                           "data": 75.0, "other": 0.0}
+        self.stub_measurement(monkeypatch)
+        code, out = run_cli(["report", "--compare-model", "--model-json",
+                             self.write_model(tmp_path, bad)])
+        assert code == 1
+        assert "MODEL DRIFT detected" in out
+
+    def test_json_output(self, tmp_path, monkeypatch):
+        self.stub_measurement(monkeypatch)
+        code, out = run_cli(["report", "--compare-model", "--json",
+                             "--model-json",
+                             self.write_model(tmp_path, self.GOOD_MODEL)])
+        assert code == 0
+        docs = json.loads(out)
+        assert len(docs) == 1  # default sweep: bn128 x (64,)
+        assert docs[0]["cell"] == "exponentiate/bn128/64"
+        assert docs[0]["ok"] is True
+
+    def test_without_flag_is_usage_error(self):
+        code, out = run_cli(["report"])
+        assert code == 2
+        assert "--compare-model" in out

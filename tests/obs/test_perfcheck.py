@@ -122,3 +122,71 @@ class TestRendering:
         assert doc["regressions"] == 1
         regressed = [d for d in doc["deltas"] if d["regressed"]]
         assert regressed[0]["stage"] == "proving"
+
+
+class TestMetrics:
+    """--metric {wall,cpu,rss}: lifted v2 fields, span fallback, and the
+    v1 skip path."""
+
+    def rec(self, cpu=None, rss=None, lifted=True, wall=1.0, ts=1.0):
+        stage = {"stage": "proving", "elapsed_s": wall}
+        span = {"wall_s": wall}
+        if lifted:
+            if cpu is not None:
+                stage["cpu_s"] = cpu
+            if rss is not None:
+                stage["rss_peak_delta_kb"] = rss
+        else:
+            if cpu is not None:
+                span["cpu_s"] = cpu
+            if rss is not None:
+                span["rss_peak_delta_kb"] = rss
+        stage["span"] = span
+        return {"schema": 2, "kind": "profile", "ts": ts, "curve": "bn128",
+                "size": 64, "workload": "exponentiate", "stages": [stage]}
+
+    def test_cpu_regression_detected(self):
+        rep = perf_check([self.rec(cpu=1.0)], [self.rec(cpu=2.0)],
+                         threshold_pct=10, metric="cpu")
+        assert not rep.ok
+        assert rep.metric == "cpu"
+        assert rep.deltas[0].base_s == 1.0
+
+    def test_cpu_falls_back_to_span_block(self):
+        rep = perf_check([self.rec(cpu=1.0, lifted=False)],
+                         [self.rec(cpu=1.0, lifted=False)], metric="cpu")
+        assert rep.ok
+        assert rep.deltas[0].new_s == 1.0
+
+    def test_rss_regression_and_default_floor(self):
+        # +100% but only +100 KB: under the 256 KB default rss floor.
+        rep = perf_check([self.rec(rss=100)], [self.rec(rss=200)],
+                         threshold_pct=10, metric="rss")
+        assert rep.ok
+        rep = perf_check([self.rec(rss=1000)], [self.rec(rss=2000)],
+                         threshold_pct=10, metric="rss")
+        assert not rep.ok
+        assert "kb" in rep.render_text()
+
+    def test_min_delta_overrides_floor(self):
+        rep = perf_check([self.rec(rss=100)], [self.rec(rss=200)],
+                         threshold_pct=10, metric="rss", min_delta=0.0)
+        assert not rep.ok
+
+    def test_v1_records_contribute_no_cpu_cells(self):
+        """Span-less v1 records are skipped, not failed, for cpu/rss."""
+        v1 = record({"proving": 1.0})  # span=None, no lifted fields
+        rep = perf_check([v1], [v1], metric="cpu")
+        assert not rep.deltas
+        assert not rep.ok  # nothing compared -> gate cannot pass
+        # ... while wall still compares the same records fine.
+        assert perf_check([v1], [v1], metric="wall").ok
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            perf_check([], [], metric="cache_misses")
+
+    def test_wall_unaffected_by_metric_fields(self):
+        rep = perf_check([self.rec(cpu=5.0)], [self.rec(cpu=50.0)],
+                         metric="wall")
+        assert rep.ok  # wall_s identical; cpu explosion is invisible here

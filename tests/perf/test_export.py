@@ -5,10 +5,12 @@ import json
 import pytest
 
 from repro.perf.export import (
+    collapsed_to_text,
     counters_to_csv,
     spans_to_chrome_trace,
     stages_to_chrome_trace,
     to_chrome_trace,
+    to_speedscope,
 )
 from repro.perf.trace import Tracer
 
@@ -134,3 +136,92 @@ class TestCsv:
     def test_empty_tracer(self):
         csv = counters_to_csv(Tracer())
         assert csv.strip() == "region,primitive,count"
+
+
+class TestStableOrdering:
+    """pid/profile indices must not depend on dict construction order."""
+
+    def make_tracers(self, order):
+        tracers = {}
+        for stage in order:
+            t = Tracer(label=stage)
+            t.op("bigint_mul_4", 5)
+            tracers[stage] = t
+        return tracers
+
+    def test_stage_pids_canonical_under_shuffled_input(self):
+        shuffled = self.make_tracers(("verifying", "compile", "proving"))
+        doc = json.loads(stages_to_chrome_trace(shuffled))
+        assert doc["otherData"]["stages"] == {
+            "1": "compile", "2": "proving", "3": "verifying"}
+
+    def test_extra_stages_sorted_after_canonical(self):
+        doc = json.loads(stages_to_chrome_trace(
+            self.make_tracers(("zeta", "alpha", "setup"))))
+        assert doc["otherData"]["stages"] == {
+            "1": "setup", "2": "alpha", "3": "zeta"}
+
+    def test_byte_identical_across_orders(self):
+        a = stages_to_chrome_trace(self.make_tracers(("setup", "proving")))
+        b = stages_to_chrome_trace(self.make_tracers(("proving", "setup")))
+        assert a == b
+
+
+STACKS = {
+    "proving": {"repro.groth16.prover:prove": 0.25,
+                "repro.groth16.prover:prove;repro.msm.pippenger:msm": 1.5},
+    "compile": {"repro.circuit.compiler:compile_circuit": 0.0625},
+}
+
+
+class TestCollapsedStacks:
+    def test_flamegraph_format(self):
+        text = collapsed_to_text(STACKS)
+        lines = text.strip().splitlines()
+        # stage prefix;frames... <integer microseconds>, compile first
+        assert lines[0] == "compile;repro.circuit.compiler:compile_circuit 62500"
+        assert ("proving;repro.groth16.prover:prove;"
+                "repro.msm.pippenger:msm 1500000") in lines
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0
+
+    def test_zero_weight_stacks_dropped(self):
+        text = collapsed_to_text({"setup": {"a:b": 0.0, "a:c": 1e-9}})
+        assert text == "\n"
+
+    def test_deterministic_across_dict_orders(self):
+        flipped = {"compile": dict(reversed(list(STACKS["compile"].items()))),
+                   "proving": dict(reversed(list(STACKS["proving"].items())))}
+        assert collapsed_to_text(STACKS) == collapsed_to_text(flipped)
+
+
+class TestSpeedscope:
+    def test_document_shape(self):
+        doc = json.loads(to_speedscope(STACKS, name="unit"))
+        assert doc["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json")
+        assert doc["name"] == "unit"
+        assert [p["name"] for p in doc["profiles"]] == ["compile", "proving"]
+        frames = [f["name"] for f in doc["shared"]["frames"]]
+        assert "repro.msm.pippenger:msm" in frames
+        for p in doc["profiles"]:
+            assert p["type"] == "sampled" and p["unit"] == "seconds"
+            assert len(p["samples"]) == len(p["weights"])
+            total = sum(STACKS[p["name"]].values())
+            assert p["endValue"] == pytest.approx(total)
+            for sample in p["samples"]:
+                for idx in sample:
+                    assert 0 <= idx < len(frames)
+
+    def test_samples_reference_full_stacks(self):
+        doc = json.loads(to_speedscope(STACKS))
+        frames = [f["name"] for f in doc["shared"]["frames"]]
+        proving = next(p for p in doc["profiles"] if p["name"] == "proving")
+        rendered = {";".join(frames[i] for i in s) for s in proving["samples"]}
+        assert rendered == set(STACKS["proving"])
+
+    def test_frame_table_stable_across_dict_orders(self):
+        flipped = {"proving": dict(reversed(list(STACKS["proving"].items()))),
+                   "compile": STACKS["compile"]}
+        assert to_speedscope(STACKS) == to_speedscope(flipped)

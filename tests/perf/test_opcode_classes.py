@@ -1,0 +1,62 @@
+"""Measured opcode classifier tests: the full ``dis.opmap`` sweep, the
+strict/other contract, and spot-checks of known classifications."""
+
+import dis
+
+import pytest
+
+from repro.perf.opcodes import OPCODE_CLASSES, classify_opname
+
+
+class TestOpmapSweep:
+    def test_every_real_opname_classifies_strictly(self):
+        """Every opcode of the running interpreter must be covered by the
+        exact table or a prefix rule — strict mode may not raise.  A
+        CPython upgrade that adds opcodes fails here, loudly."""
+        for opname in dis.opmap:
+            cls = classify_opname(opname, strict=True)
+            assert cls in OPCODE_CLASSES, opname
+
+    def test_all_four_classes_occur(self):
+        seen = {classify_opname(op) for op in dis.opmap}
+        assert seen == set(OPCODE_CLASSES)
+
+
+class TestKnownClassifications:
+    @pytest.mark.parametrize("opname,expected", [
+        ("BINARY_OP", "compute"),
+        ("COMPARE_OP", "compute"),
+        ("UNARY_NEGATIVE", "compute"),
+        ("LOAD_FAST", "data"),
+        ("STORE_FAST", "data"),
+        ("BUILD_LIST", "data"),
+        ("BINARY_SUBSCR", "data"),      # moves data, despite BINARY_ prefix
+        ("POP_TOP", "data"),
+        ("JUMP_FORWARD", "control"),
+        ("CALL", "control"),
+        ("RETURN_VALUE", "control"),
+        ("FOR_ITER", "control"),
+        ("NOP", "other"),
+        ("RESUME", "other"),
+        ("CACHE", "other"),
+    ])
+    def test_spot_checks(self, opname, expected):
+        assert classify_opname(opname) == expected
+
+    def test_cross_version_spellings(self):
+        """Names from other CPython versions still classify sensibly via
+        the prefix rules, whether or not this interpreter has them."""
+        assert classify_opname("BINARY_ADD") == "compute"      # 3.10
+        assert classify_opname("INPLACE_MULTIPLY") == "compute"  # 3.10
+        assert classify_opname("TO_BOOL") == "compute"         # 3.13
+        assert classify_opname("LOAD_FAST_LOAD_FAST") == "data"  # 3.13
+        assert classify_opname("INSTRUMENTED_CALL") == "other"   # 3.12
+
+
+class TestUnknownNames:
+    def test_unknown_lands_in_other(self):
+        assert classify_opname("FROBNICATE_TOP") == "other"
+
+    def test_strict_raises_on_unknown(self):
+        with pytest.raises(ValueError, match="FROBNICATE_TOP"):
+            classify_opname("FROBNICATE_TOP", strict=True)
