@@ -1,7 +1,8 @@
 # Convenience targets; see README.md.
 
 .PHONY: install test lint bench artifacts slow clean profile perf-check chaos \
-	deep-profile drift-check refresh-baseline
+	deep-profile drift-check refresh-baseline parallel-test parallel-check \
+	measured
 
 # Seeds for the chaos smoke (override: make chaos CHAOS_SEEDS="0 7 42").
 CHAOS_SEEDS ?= 0 1 2 3
@@ -59,6 +60,32 @@ refresh-baseline:
 	rm -f $(BASELINE_LEDGER)
 	PYTHONPATH=src python -m repro profile --curve bn128 --size 64 \
 		--label ci-baseline --ledger $(BASELINE_LEDGER)
+
+# Full serial<->parallel differential matrix plus the chaos-under-workers
+# seeds (docs/PARALLELISM.md).  Wider than the tier-1 run: sizes 2^6..2^10,
+# workers {1,2,4}, both curves.
+parallel-test:
+	REPRO_PARALLEL_FULL=1 PYTHONPATH=src pytest -x -q tests/parallel
+	@for seed in 0 1 2; do \
+		PYTHONPATH=src python -m repro chaos --seed $$seed --faults 3 \
+			--size 64 --workers 2 || exit 1; \
+	done
+
+# Proving speedup gate: >= $(MIN_SPEEDUP)x at $(PAR_WORKERS) workers for
+# 2^12 constraints; exits 0 with a SKIP message on machines with fewer
+# cores than $(PAR_WORKERS).
+PAR_WORKERS ?= 4
+MIN_SPEEDUP ?= 1.3
+parallel-check:
+	PYTHONPATH=src python -m repro parallel-check --size 4096 \
+		--workers $(PAR_WORKERS) --min-speedup $(MIN_SPEEDUP)
+
+# Measured Fig. 6 (strong scaling) on real worker processes; Fig. 7 and
+# Table VI accept the same flags (docs/PARALLELISM.md).
+MEASURED_WORKERS ?= 1,2,4
+measured:
+	PYTHONPATH=src python -m repro run fig6 --measured \
+		--workers $(MEASURED_WORKERS)
 
 chaos:
 	@for seed in $(CHAOS_SEEDS); do \

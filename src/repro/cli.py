@@ -3,7 +3,9 @@
     python -m repro list
     python -m repro run fig4 [--sizes 64,128,256] [--curves bn128]
     python -m repro run all --out results/
+    python -m repro run fig6 --measured --workers 1,2,4 [--sizes 4096]
     python -m repro prove --curve bn128 --exponent 64 --x 3 [--out DIR]
+    python -m repro parallel-check [--size 4096] [--workers 4] [--min-speedup 1.3]
     python -m repro verify DIR
     python -m repro lint [--circuit NAME] [--json] [--strict]
     python -m repro profile --curve bn128 --size 64 [--json]
@@ -30,6 +32,15 @@ ledgers per (stage, curve, size) and exits non-zero on regression — the CI
 perf gate; ``sweep`` runs the profiling sweep with per-cell checkpoints so
 a killed run resumes (docs/ROBUSTNESS.md); ``chaos`` replays a seeded
 fault schedule through the pipeline and reports recovery outcomes.
+
+The parallel backend (docs/PARALLELISM.md) surfaces in four places:
+``run --measured`` drives fig6/fig7/table6 from *measured* wall times
+under real worker processes instead of the analytical model;
+``prove --workers N`` / ``profile --workers N`` / ``chaos --workers N``
+run the pipeline under a worker pool (chaos then proves faults inside
+workers still come back typed); ``parallel-check`` is the CI speedup
+gate — it times the proving stage serial vs. pooled and exits 1 below
+the threshold, skipping cleanly on machines without enough cores.
 
 Every verb exits **2** with a one-line ``error[<code>]: ...`` message —
 never a traceback — on bad input or corrupted artifacts
@@ -90,6 +101,17 @@ def _positive_int(text):
     return n
 
 
+def _parse_workers(text):
+    """Comma-separated worker counts, e.g. ``1,2,4`` (for sweeps)."""
+    try:
+        workers = tuple(int(s) for s in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad worker list {text!r}") from None
+    if not workers or any(n < 1 for n in workers):
+        raise argparse.ArgumentTypeError(f"bad worker list {text!r}")
+    return workers
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -102,12 +124,26 @@ def build_parser():
 
     run = sub.add_parser("run", help="regenerate one artifact (or 'all')")
     run.add_argument("artifact", choices=sorted(ARTIFACTS) + ["all"])
-    run.add_argument("--sizes", type=_parse_sizes, default=DEFAULT_SIZES,
-                     help="comma-separated constraint counts")
+    run.add_argument("--sizes", type=_parse_sizes, default=None,
+                     help="comma-separated constraint counts (default: the "
+                          "sweep sizes; with --measured, one size, default "
+                          "4096 for fig6/table6 and base 256 for fig7)")
     run.add_argument("--curves", type=_parse_curves,
                      default=("bn128", "bls12_381"))
     run.add_argument("--out", default=None,
                      help="directory to also write rendered artifacts into")
+    run.add_argument("--measured", action="store_true",
+                     help="fig6/fig7/table6 only: measure real wall times "
+                          "under worker processes (repro.parallel) instead "
+                          "of evaluating the analytical model")
+    run.add_argument("--workers", type=_parse_workers, default=None,
+                     metavar="N,N,...",
+                     help="worker counts for --measured (default 1,2,4)")
+    run.add_argument("--workload", default="exponentiate",
+                     help="workload family (repro.harness.circuits.WORKLOADS)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--repeats", type=_positive_int, default=1,
+                     help="--measured: best-of-N runs per cell (default 1)")
 
     prove = sub.add_parser("prove", help="run the five-stage protocol once")
     prove.add_argument("--curve", type=_curve_name, default="bn128")
@@ -116,6 +152,10 @@ def build_parser():
     prove.add_argument("--out", default=None, metavar="DIR",
                        help="also serialize proof.bin / vk.bin / "
                             "publics.json into DIR (for 'repro verify')")
+    prove.add_argument("--workers", type=_positive_int, default=None,
+                       help="run under N worker processes "
+                            "(default: $REPRO_WORKERS, else serial); the "
+                            "proof bytes are identical either way")
 
     verify_p = sub.add_parser(
         "verify",
@@ -172,6 +212,10 @@ def build_parser():
     profile.add_argument("--span-trace", default=None, metavar="PATH",
                          help="write the measured span tree as chrome-trace "
                               "JSON here")
+    profile.add_argument("--workers", type=_positive_int, default=None,
+                         help="run under N worker processes (ignored for "
+                              "stages traced via --chrome-trace, which "
+                              "must stay serial to model costs)")
 
     deep = sub.add_parser(
         "deep-profile",
@@ -286,7 +330,29 @@ def build_parser():
     chaos.add_argument("--workload", default="exponentiate")
     chaos.add_argument("--max-attempts", type=_positive_int, default=3,
                        help="retry budget per stage (default 3)")
+    chaos.add_argument("--workers", type=_positive_int, default=None,
+                       help="run the pipeline under N worker processes; "
+                            "faults then fire inside workers and must "
+                            "still surface typed")
     chaos.add_argument("--json", action="store_true", dest="as_json")
+
+    pcheck = sub.add_parser(
+        "parallel-check",
+        help="CI gate: proving-stage speedup under the parallel backend; "
+             "skips cleanly on machines with too few cores "
+             "(docs/PARALLELISM.md)",
+    )
+    pcheck.add_argument("--curve", type=_curve_name, default="bn128")
+    pcheck.add_argument("--size", type=int, default=4096,
+                        help="constraint count (default 4096 = 2^12)")
+    pcheck.add_argument("--workers", type=_positive_int, default=4)
+    pcheck.add_argument("--min-speedup", type=float, default=1.3,
+                        help="required proving speedup at --workers "
+                             "(default 1.3)")
+    pcheck.add_argument("--repeats", type=_positive_int, default=1,
+                        help="best-of-N timing runs per backend (default 1)")
+    pcheck.add_argument("--workload", default="exponentiate")
+    pcheck.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -315,14 +381,20 @@ def cmd_list(_args, out=print):
     out("      'repro deep-profile' (measured hot functions / opcode mix "
         "/ allocations + flamegraphs),")
     out("      'repro report --compare-model' (model-vs-measured drift "
-        "gate)")
+        "gate),")
+    out("      'repro run fig6 --measured --workers 1,2,4' (real worker "
+        "sweep), 'repro parallel-check' (speedup gate)")
     return 0
 
 
 def cmd_run(args, out=print):
+    if args.measured:
+        return _run_measured(args, out)
     names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
-    out(f"profiling sweep: curves={args.curves} sizes={args.sizes} ...")
-    sweep = profile_sweep(curve_names=args.curves, sizes=args.sizes)
+    sizes = args.sizes or DEFAULT_SIZES
+    out(f"profiling sweep: curves={args.curves} sizes={sizes} ...")
+    sweep = profile_sweep(curve_names=args.curves, sizes=sizes,
+                          seed=args.seed, workload=args.workload)
     for name in names:
         result = ARTIFACTS[name](sweep)
         text = result.render()
@@ -335,6 +407,52 @@ def cmd_run(args, out=print):
     return 0
 
 
+def _run_measured(args, out):
+    from repro.harness.measured import MEASURED_ARTIFACTS
+
+    names = (sorted(MEASURED_ARTIFACTS) if args.artifact == "all"
+             else [args.artifact])
+    bad = sorted(set(names) - set(MEASURED_ARTIFACTS))
+    if bad:
+        out(f"--measured supports {'/'.join(sorted(MEASURED_ARTIFACTS))}, "
+            f"not {'/'.join(bad)} (the other artifacts are counter-based, "
+            f"not timing-based)")
+        return 2
+    workers = args.workers or (1, 2, 4)
+    curve = args.curves[0]
+    for name in names:
+        kwargs = dict(workers=workers, curve=curve, workload=args.workload,
+                      seed=args.seed, repeats=args.repeats)
+        if name == "fig7":
+            kwargs["base_size"] = args.sizes[0] if args.sizes else 256
+        else:
+            kwargs["size"] = args.sizes[0] if args.sizes else 4096
+        out(f"measured {name}: curve={curve} workers={workers} "
+            f"{'base_size' if name == 'fig7' else 'size'}="
+            f"{kwargs.get('base_size', kwargs.get('size'))} "
+            f"(cores: {os.cpu_count()}) ...")
+        result = MEASURED_ARTIFACTS[name](**kwargs)
+        text = result.render()
+        out("")
+        out(text)
+        fits = result.extras["fits"]
+        if name in ("fig6", "fig7"):
+            law = "Amdahl" if name == "fig6" else "Gustafson"
+            for stage, fit in fits.items():
+                out(f"  {law} fit: {stage:10s} serial {100 * fit['serial']:5.1f}% "
+                    f"parallel {100 * fit['parallel']:5.1f}%")
+        drift = result.extras.get("drift")
+        if drift:
+            out(f"  model drift at {max(workers)}w (measured - modeled "
+                f"speedup): " + "  ".join(
+                    f"{s}{v:+.2f}" for s, v in drift.items()))
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            with open(os.path.join(args.out, f"{name}_measured.txt"), "w") as f:
+                f.write(text + "\n")
+    return 0
+
+
 def cmd_prove(args, out=print):
     from repro.curves import get_curve
     from repro.harness.circuits import build_exponentiate
@@ -342,12 +460,12 @@ def cmd_prove(args, out=print):
 
     curve = get_curve(args.curve)
     builder, inputs = build_exponentiate(curve, args.exponent, x_value=args.x)
-    wf = Workflow(curve, builder, inputs, seed=0)
-    for stage in STAGES:
-        # The workflow already times each stage (StageResult.elapsed);
-        # report that instead of re-timing around the call.
-        result = wf.run_stage(stage)
-        out(f"{stage:10s} {result.elapsed:8.3f}s")
+    with Workflow(curve, builder, inputs, seed=0, workers=args.workers) as wf:
+        for stage in STAGES:
+            # The workflow already times each stage (StageResult.elapsed);
+            # report that instead of re-timing around the call.
+            result = wf.run_stage(stage)
+            out(f"{stage:10s} {result.elapsed:8.3f}s")
     out(f"proof: {wf.proof.size_bytes()} bytes; accepted: {wf.accepted}")
     if args.out and wf.accepted:
         import json
@@ -412,11 +530,11 @@ def cmd_profile(args, out=print):
         out(f"bad workload cell: {exc}")
         return 2
 
-    wf = Workflow(curve, builder, inputs, seed=args.seed)
+    wf = Workflow(curve, builder, inputs, seed=args.seed, workers=args.workers)
     registry = metrics.MetricsRegistry()
     tracers = {}
     label = f"profile:{args.curve}/{args.size}"
-    with metrics.collecting(registry), spans.recording(label) as rec:
+    with wf, metrics.collecting(registry), spans.recording(label) as rec:
         for stage in STAGES:
             # Tracing perturbs wall time, so tracers are attached only when
             # a modeled chrome-trace was asked for; span wall times then
@@ -592,12 +710,56 @@ def cmd_chaos(args, out=print):
     report = run_chaos(
         seed=args.seed, n_faults=args.faults, curve=args.curve,
         size=args.size, workload=args.workload,
-        max_attempts=args.max_attempts,
+        max_attempts=args.max_attempts, workers=args.workers,
     )
     out(report.to_json(indent=2) if args.as_json else report.render_text())
     # 0: the resilience contract held (recovered, or failed *typed*);
     # 1: a bare exception escaped or the proof was silently rejected.
     return 0 if report.acceptable else 1
+
+
+def cmd_parallel_check(args, out=print):
+    from repro.curves import get_curve
+    from repro.groth16.serialize import proof_to_bytes
+    from repro.harness.circuits import build_workload
+    from repro.workflow import Workflow
+
+    cores = os.cpu_count() or 1
+    if cores < args.workers:
+        out(f"parallel-check: SKIP — {cores} core(s) available, gate needs "
+            f">= {args.workers} to demand a {args.min_speedup:.2f}x speedup")
+        return 0
+
+    curve = get_curve(args.curve)
+    builder, inputs = build_workload(args.workload, curve, args.size)
+    # One workflow: compile/setup/witness once, then time proving twice —
+    # serial baseline first, then under the pool (flipping .workers before
+    # the pool property first materializes it).
+    with Workflow(curve, builder, inputs, seed=args.seed, workers=1) as wf:
+        for stage in ("compile", "setup", "witness"):
+            wf.run_stage(stage)
+        serial_s = min(wf.run_stage("proving").elapsed
+                       for _ in range(args.repeats))
+        serial_bytes = proof_to_bytes(wf.proof)
+        wf.workers = args.workers
+        parallel_s = min(wf.run_stage("proving").elapsed
+                         for _ in range(args.repeats))
+        identical = proof_to_bytes(wf.proof) == serial_bytes
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    out(f"parallel-check: proving {args.workload}/{args.curve} "
+        f"n={args.size} — serial {serial_s:.3f}s, "
+        f"{args.workers}w {parallel_s:.3f}s, speedup {speedup:.2f}x "
+        f"(need >= {args.min_speedup:.2f}x), proof bytes "
+        f"{'identical' if identical else 'DIFFER'}")
+    if not identical:
+        out("parallel-check: FAIL — parallel proof bytes differ from serial")
+        return 1
+    if speedup < args.min_speedup:
+        out("parallel-check: FAIL — speedup below threshold")
+        return 1
+    out("parallel-check: OK")
+    return 0
 
 
 def cmd_lint(args, out=print):
@@ -658,7 +820,8 @@ def main(argv=None, out=print):
                "verify": cmd_verify, "lint": cmd_lint,
                "profile": cmd_profile, "deep-profile": cmd_deep_profile,
                "report": cmd_report, "perf-check": cmd_perf_check,
-               "sweep": cmd_sweep, "chaos": cmd_chaos}[args.command]
+               "sweep": cmd_sweep, "chaos": cmd_chaos,
+               "parallel-check": cmd_parallel_check}[args.command]
     try:
         return handler(args, out=out)
     except ReproError as exc:

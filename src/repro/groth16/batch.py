@@ -64,6 +64,15 @@ def batch_verify(vk, proofs_with_publics, rng):
         m.inc("repro_groth16_batch_pairings_total", len(batch) + 3 if batch else 0)
     if not batch:
         return True
+    # Fan large batches out through the worker pool (chunked folded
+    # checks with independent weight seeds) when one is installed.
+    from repro.parallel.pool import active_pool
+
+    pool = active_pool()
+    if pool is not None and pool.enabled_for(len(batch), "batch"):
+        from repro.parallel.kernels import batch_verify_parallel
+
+        return batch_verify_parallel(vk, batch, rng, pool)
     curve = vk.curve
     fr = curve.fr
     g1 = curve.g1

@@ -97,16 +97,33 @@ def setup(curve, circuit, rng, fixed_base_width=3):
     g1_table = FixedBaseTable(curve.g1.generator, width=fixed_base_width)
     g2_table = FixedBaseTable(curve.g2.generator, width=fixed_base_width)
 
+    def _mul_many(table, scalars):
+        """Table sweep, fanned out through the worker pool when one is
+        installed (untraced runs only); the committed points serialize
+        identically either way."""
+        scalars = list(scalars)
+        if t is None:
+            from repro.parallel.pool import active_pool
+
+            pool = active_pool()
+            if pool is not None and pool.enabled_for(len(scalars), "msm"):
+                from repro.parallel.kernels import fixed_base_mul_many
+
+                return fixed_base_mul_many(table, scalars, pool)
+        return table.mul_many(scalars)
+
     def _commit_g1():
+        l_wires = list(l_scalars)
+        l_points = _mul_many(g1_table, [l_scalars[i] for i in l_wires])
         return dict(
             alpha1=g1_table.mul(alpha),
             beta1=g1_table.mul(beta),
             delta1=g1_table.mul(delta),
-            a_query=g1_table.mul_many(u),
-            b1_query=g1_table.mul_many(v),
-            l_query={i: g1_table.mul(s) for i, s in l_scalars.items()},
-            h_query=g1_table.mul_many(h_scalars),
-            ic=g1_table.mul_many(ic_scalars),
+            a_query=_mul_many(g1_table, u),
+            b1_query=_mul_many(g1_table, v),
+            l_query=dict(zip(l_wires, l_points)),
+            h_query=_mul_many(g1_table, h_scalars),
+            ic=_mul_many(g1_table, ic_scalars),
         )
 
     def _commit_g2():
@@ -114,7 +131,7 @@ def setup(curve, circuit, rng, fixed_base_width=3):
             beta2=g2_table.mul(beta),
             delta2=g2_table.mul(delta),
             gamma2=g2_table.mul(gamma),
-            b2_query=[g2_table.mul(s) for s in v],
+            b2_query=_mul_many(g2_table, v),
         )
 
     if t is None:

@@ -49,6 +49,8 @@ def msm_pippenger(group, points, scalars, window=None):
     """
     if len(points) != len(scalars):
         raise ValueError(f"points/scalars length mismatch: {len(points)} vs {len(scalars)}")
+    if window is not None and not 1 <= window <= 32:
+        raise ValueError(f"window width must be in [1, 32], got {window}")
     order = group.order
     pairs = [
         (pt, k % order)

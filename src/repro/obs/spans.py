@@ -42,6 +42,7 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "attach_counters",
+    "attach_meta",
     "current_span",
     "recording",
     "render_spans",
@@ -200,6 +201,18 @@ def attach_counters(counts):
     target = rec.innermost.counters
     for key, value in counts.items():
         target[key] = target.get(key, 0) + value
+
+
+def attach_meta(**meta):
+    """Merge key/value metadata into the innermost open span.
+
+    The parallel pool uses this to attach per-worker attribution (pid ->
+    tasks/wall/cpu) to its ``parallel:*`` spans.  No-op when not recording.
+    """
+    rec = CURRENT
+    if rec is None:
+        return
+    rec.innermost.meta.update(meta)
 
 
 @contextmanager

@@ -1,0 +1,455 @@
+"""Worker-pool abstraction of the parallel execution layer.
+
+A :class:`WorkerPool` owns N worker processes and maps named *tasks* (from
+the registry in :mod:`repro.parallel.tasks`) over payload chunks.  Two
+backends share one contract:
+
+``serial``
+    Runs every task inline in the calling process — the degenerate pool
+    used for ``--workers 1`` and for tests that want the envelope
+    semantics without process machinery.
+``process``
+    A lazily created ``multiprocessing`` pool.  Workers are forked, so
+    they inherit the parent's loaded modules for free; the task envelope
+    then *resets every process-global instrumentation slot* (trace,
+    metrics, spans, profiler, faults, retry policy/deadline) so a worker
+    never double-reports into telemetry the parent also records.
+
+The error contract — the part the resilience layer depends on — is that
+exceptions never cross the process boundary as pickled tracebacks.  The
+envelope catches everything, encodes it as a plain dict
+(:func:`encode_error`), and the parent re-raises the *typed* equivalent
+(:func:`decode_error`): taxonomy errors come back as their own class,
+``ValueError``/``TypeError`` as themselves (API parity with the serial
+kernels), and anything else as
+:class:`~repro.resilience.errors.WorkerCrash`.
+
+Context shipped with each task (the ``ctx`` dict) carries what a worker
+cannot inherit: the remaining seconds of the parent's cooperative
+:class:`~repro.resilience.retry.Deadline`, and — for chaos runs — a due
+:class:`~repro.resilience.faults.FaultSpec` so the fault actually fires
+*inside* the worker (see ``FaultInjector.arm``).
+
+The process-global ``CURRENT`` slot follows the repo-wide idiom
+(``trace.CURRENT`` etc.): kernels check ``parallel.CURRENT`` and stay on
+the serial path when it is ``None``, when the pool has one worker, or
+when a tracer is active (the analytical model must keep seeing the
+serial algorithms).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+
+from repro.resilience import retry as resilience
+from repro.resilience.errors import (
+    ArtifactCorruption,
+    ReproError,
+    ResourceExhausted,
+    StageTimeout,
+    TransientFault,
+    WorkerCrash,
+)
+
+__all__ = [
+    "WorkerPool",
+    "active_pool",
+    "chunk_slices",
+    "decode_error",
+    "encode_error",
+    "parallel_pool",
+    "using",
+    "workers_from_env",
+]
+
+#: The process-global pool slot; ``None`` means parallel execution is off.
+CURRENT = None
+
+#: Environment variable read by :func:`workers_from_env` (the no-flag way
+#: to turn the backend on: ``REPRO_WORKERS=4 python -m repro prove ...``).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def workers_from_env(default=None):
+    """Worker count from ``$REPRO_WORKERS``, or *default* when unset/bad."""
+    raw = os.environ.get(WORKERS_ENV)
+    if not raw:
+        return default
+    try:
+        n = int(raw)
+    except ValueError:
+        return default
+    return n if n >= 1 else default
+
+
+def chunk_slices(n, parts):
+    """Split ``range(n)`` into at most *parts* contiguous ``(start, stop)``
+    slices of near-equal size (never emits an empty slice)."""
+    if n <= 0:
+        return []
+    parts = max(1, min(parts, n))
+    base, extra = divmod(n, parts)
+    slices = []
+    start = 0
+    for i in range(parts):
+        stop = start + base + (1 if i < extra else 0)
+        slices.append((start, stop))
+        start = stop
+    return slices
+
+
+# -- typed-error envelope ----------------------------------------------------------
+
+#: Taxonomy code -> class, for decoding worker-side failures.
+_TYPED = {
+    "transient": TransientFault,
+    "timeout": StageTimeout,
+    "corrupt": ArtifactCorruption,
+    "resources": ResourceExhausted,
+    "worker": WorkerCrash,
+}
+
+#: Untyped exceptions re-raised as themselves for serial-API parity; all
+#: other untyped errors become ``WorkerCrash``.
+_PASSTHROUGH = {"ValueError": ValueError, "TypeError": TypeError}
+
+
+def encode_error(exc):
+    """Plain-dict form of *exc* — the only shape errors travel in."""
+    from repro.resilience.errors import classify
+
+    return {
+        "kind": classify(exc),
+        "type": type(exc).__name__,
+        "message": str(exc),
+    }
+
+
+def decode_error(enc, task=None):
+    """Rebuild the typed exception *enc* describes (never a traceback)."""
+    kind = enc.get("kind", "untyped")
+    message = enc.get("message", "")
+    cls = _TYPED.get(kind)
+    if cls is not None:
+        if cls is WorkerCrash:
+            return WorkerCrash(message, task=task, exc_type=enc.get("type"))
+        return cls(message)
+    cls = _PASSTHROUGH.get(enc.get("type"))
+    if cls is not None:
+        return cls(message)
+    return WorkerCrash(
+        f"worker task {task or '?'} raised {enc.get('type', 'Exception')}: {message}",
+        task=task,
+        exc_type=enc.get("type"),
+    )
+
+
+# -- worker side -------------------------------------------------------------------
+
+
+def _reset_worker_globals():
+    """Clear every process-global instrumentation slot a forked worker
+    inherited.  The parent owns telemetry; workers compute."""
+    global CURRENT
+    from repro.obs import ledger, metrics, prof, spans
+    from repro.perf import trace
+    from repro.resilience import faults
+
+    trace.CURRENT = None
+    metrics.CURRENT = None
+    spans.CURRENT = None
+    prof.CURRENT = None
+    ledger.CURRENT = None
+    faults.CURRENT = None
+    resilience.CURRENT = None
+    resilience.DEADLINE = None
+    CURRENT = None
+
+
+def _run_task(fn_name, payload, ctx):
+    """Look up and run one registry task under the shipped context."""
+    from repro.parallel import tasks
+    from repro.resilience import faults
+
+    fn = tasks.TASKS.get(fn_name)
+    if fn is None:
+        raise WorkerCrash(f"unknown worker task {fn_name!r}", task=fn_name)
+    ctx = ctx or {}
+    fault = ctx.get("fault")
+    deadline_s = ctx.get("deadline_s")
+
+    def run():
+        if deadline_s is None:
+            return fn(payload)
+        with resilience.deadline_scope(deadline_s):
+            return fn(payload)
+
+    if fault is None:
+        return run(), []
+    # Re-arm the shipped fault spec in this worker.  The parent already
+    # matched the hit cadence, so the spec fires on the first site check
+    # here (hit=1); ``injecting`` is safe because worker globals are clear.
+    spec = faults.FaultSpec(fault["site"], fault["kind"], hit=1)
+    with faults.injecting([spec]):
+        result = run()
+    return result, [s.to_dict() for s in [spec] if s.fired]
+
+
+def _worker_envelope(job):
+    """Top-level task wrapper executed inside a worker process.
+
+    Must stay a module-level function (picklable by reference).  Returns a
+    plain dict; never lets an exception propagate to the pool machinery.
+    """
+    fn_name, payload, ctx = job
+    _reset_worker_globals()
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    try:
+        value, fired = _run_task(fn_name, payload, ctx)
+        ok, out = True, value
+    except BaseException as exc:  # noqa: BLE001 - the envelope is the boundary
+        ok, out = False, encode_error(exc)
+        # A fault that fired by raising still counts as fired.
+        fired = ([dict(ctx["fault"], fired=True)]
+                 if ctx and ctx.get("fault") is not None else [])
+    return {
+        "ok": ok,
+        "value": out,
+        "fired": fired,
+        "pid": os.getpid(),
+        "wall_s": time.perf_counter() - wall0,
+        "cpu_s": time.process_time() - cpu0,
+    }
+
+
+# -- parent side -------------------------------------------------------------------
+
+
+class WorkerPool:
+    """N-worker execution pool with ``serial`` and ``process`` backends.
+
+    Parameters
+    ----------
+    workers:
+        Worker count; ``None`` reads ``$REPRO_WORKERS`` and defaults to 1.
+        One worker selects the ``serial`` backend.
+    backend:
+        Force ``"serial"`` or ``"process"`` (defaults by worker count).
+    min_msm / min_ntt / min_witness / min_batch:
+        Smallest input sizes worth fanning out; below them kernels stay
+        serial.  Tests lower these so tiny differential cells still
+        exercise the parallel paths.
+    """
+
+    def __init__(self, workers=None, backend=None, *,
+                 min_msm=64, min_ntt=64, min_witness=64, min_batch=2):
+        if workers is None:
+            workers = workers_from_env(default=1)
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if backend is None:
+            backend = "serial" if workers == 1 else "process"
+        if backend not in ("serial", "process"):
+            raise ValueError(f"unknown pool backend {backend!r}")
+        self.workers = workers
+        self.backend = backend
+        self.min_msm = min_msm
+        self.min_ntt = min_ntt
+        self.min_witness = min_witness
+        self.min_batch = min_batch
+        self._pool = None
+        self._closed = False
+        #: pid -> {"tasks", "wall_s", "cpu_s"} accumulated over every map.
+        self.worker_stats = {}
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._pool is None:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            self._pool = ctx.Pool(processes=self.workers)
+        return self._pool
+
+    def close(self):
+        """Tear down the worker processes (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # -- execution ----------------------------------------------------------------
+
+    def enabled_for(self, n, kind="msm"):
+        """Whether fanning *n* items out through this pool is worthwhile."""
+        threshold = getattr(self, f"min_{kind}", 1)
+        return self.workers > 1 and n >= threshold
+
+    def map(self, fn_name, payloads, ctxs=None, label=None):
+        """Run registry task *fn_name* over *payloads*; results in order.
+
+        *ctxs*, when given, aligns with *payloads* (entries may be
+        ``None``).  Each task additionally receives the remaining seconds
+        of the parent's active deadline, so workers honor it
+        cooperatively.  The first failed task raises its decoded typed
+        error after all tasks settle.  Returns ``(results, fired)`` where
+        *fired* lists fault-spec dicts that fired inside workers.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return [], []
+        base_ctx = {}
+        if resilience.DEADLINE is not None:
+            base_ctx["deadline_s"] = max(
+                0.001, resilience.DEADLINE.seconds - resilience.DEADLINE.elapsed()
+            )
+        jobs = []
+        for i, payload in enumerate(payloads):
+            ctx = dict(base_ctx)
+            if ctxs is not None and ctxs[i]:
+                ctx.update(ctxs[i])
+            jobs.append((fn_name, payload, ctx))
+
+        if self.backend == "serial":
+            envelopes = [self._run_serial(job) for job in jobs]
+        else:
+            envelopes = self._ensure_pool().map(_worker_envelope, jobs)
+
+        return self._settle(envelopes, fn_name, label=label)
+
+    def _run_serial(self, job):
+        """Inline execution with the same envelope semantics, minus the
+        telemetry-slot reset (we *are* the parent process).  The pool slot
+        alone is cleared so an inline task never re-enters a kernel."""
+        global CURRENT
+        fn_name, payload, ctx = job
+        from repro.parallel import tasks
+        from repro.resilience import faults
+
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        fired = []
+        prev_pool = CURRENT
+        CURRENT = None
+        try:
+            fn = tasks.TASKS.get(fn_name)
+            if fn is None:
+                raise WorkerCrash(f"unknown worker task {fn_name!r}", task=fn_name)
+            fault = (ctx or {}).get("fault")
+            if fault is not None:
+                fired = [dict(fault, fired=True)]
+                raise faults.make_fault(
+                    faults.FaultSpec(fault["site"], fault["kind"], hit=1))
+            ok, out = True, fn(payload)
+        except BaseException as exc:  # noqa: BLE001
+            ok, out = False, encode_error(exc)
+        finally:
+            CURRENT = prev_pool
+        return {
+            "ok": ok, "value": out, "fired": fired, "pid": os.getpid(),
+            "wall_s": time.perf_counter() - wall0,
+            "cpu_s": time.process_time() - cpu0,
+        }
+
+    def _settle(self, envelopes, fn_name, label=None):
+        from repro.obs import metrics, spans
+
+        results = []
+        first_err = None
+        fired = []
+        by_pid = {}
+        for env in envelopes:
+            fired.extend(env.get("fired") or [])
+            stats = self.worker_stats.setdefault(
+                env["pid"], {"tasks": 0, "wall_s": 0.0, "cpu_s": 0.0})
+            stats["tasks"] += 1
+            stats["wall_s"] += env["wall_s"]
+            stats["cpu_s"] += env["cpu_s"]
+            agg = by_pid.setdefault(env["pid"], {"tasks": 0, "wall_s": 0.0})
+            agg["tasks"] += 1
+            agg["wall_s"] = round(agg["wall_s"] + env["wall_s"], 6)
+            if env["ok"]:
+                results.append(env["value"])
+            elif first_err is None:
+                first_err = decode_error(env["value"], task=fn_name)
+        m = metrics.CURRENT
+        if m is not None:
+            m.inc("repro_parallel_maps_total")
+            m.inc("repro_parallel_tasks_total", len(envelopes))
+        if spans.CURRENT is not None:
+            spans.attach_meta(**{
+                f"parallel:{label or fn_name}": {
+                    "backend": self.backend,
+                    "workers": self.workers,
+                    "by_pid": by_pid,
+                }
+            })
+        if first_err is not None:
+            raise first_err
+        return results, fired
+
+
+# -- installation ------------------------------------------------------------------
+
+
+def active_pool():
+    """The installed pool when parallel execution should engage, else
+    ``None`` — i.e. also ``None`` whenever a tracer is active, so modeled
+    runs always see the serial algorithms."""
+    pool = CURRENT
+    if pool is None:
+        return None
+    from repro.perf import trace
+
+    if trace.CURRENT is not None:
+        return None
+    return pool
+
+
+@contextmanager
+def using(pool):
+    """Install an existing :class:`WorkerPool` as ``CURRENT``.
+
+    Reentrant for the *same* pool (the workflow wraps every stage; nested
+    kernels re-enter); a different pool underneath an active one is a bug.
+    """
+    global CURRENT
+    if pool is None or CURRENT is pool:
+        yield pool
+        return
+    if CURRENT is not None:
+        raise RuntimeError("a worker pool is already active")
+    CURRENT = pool
+    try:
+        yield pool
+    finally:
+        CURRENT = None
+
+
+@contextmanager
+def parallel_pool(workers=None, **kwargs):
+    """Create a :class:`WorkerPool`, install it, and close it on exit."""
+    pool = WorkerPool(workers, **kwargs)
+    try:
+        with using(pool):
+            yield pool
+    finally:
+        pool.close()

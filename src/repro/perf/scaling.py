@@ -35,6 +35,7 @@ __all__ = [
     "WorkSplit",
     "work_split",
     "simulate_time",
+    "speedups_from_times",
     "strong_scaling",
     "weak_scaling",
     "amdahl_fit",
@@ -120,6 +121,29 @@ def weak_scaling(splits_by_scale, spec, overhead_cycles=DEFAULT_OVERHEAD_CYCLES)
     for n, split in sorted(splits_by_scale.items()):
         tn = simulate_time(split, spec, n, overhead_cycles)
         out[n] = t1 * n / tn
+    return out
+
+
+def speedups_from_times(times, scale_factors=None):
+    """``{n: t_1 / t_n}`` from measured wall times ``{n: seconds}``.
+
+    The bridge between the *measured* parallel backend (``repro.parallel``)
+    and the fits below: feed the result straight into :func:`amdahl_fit`.
+    With *scale_factors* (``{n: sf}``, weak scaling) the Gustafson form
+    ``t_1 * sf / t_n`` is computed instead.  Requires the ``n == 1``
+    baseline; non-positive times are skipped.
+    """
+    if 1 not in times:
+        raise ValueError("speedups need the n=1 baseline time")
+    t1 = times[1]
+    if t1 <= 0:
+        raise ValueError(f"baseline time must be positive, got {t1}")
+    out = {}
+    for n, tn in sorted(times.items()):
+        if tn <= 0:
+            continue
+        sf = scale_factors.get(n, n) if scale_factors is not None else 1
+        out[n] = t1 * sf / tn
     return out
 
 

@@ -17,7 +17,8 @@ from repro.perf import trace
 from repro.resilience import faults
 from repro.resilience import retry as resilience
 
-__all__ = ["ntt", "intt", "coset_ntt", "coset_intt", "bit_reverse_permute"]
+__all__ = ["ntt", "intt", "coset_ntt", "coset_intt", "bit_reverse_permute",
+           "transform_raw"]
 
 #: Bytes per scalar-field coefficient in the traffic model (4 x 64-bit limbs;
 #: both scalar fields fit in 256 bits).
@@ -39,6 +40,36 @@ def bit_reverse_permute(values):
     return values
 
 
+def transform_raw(values, root, modulus):
+    """Uninstrumented iterative Cooley–Tukey NTT over plain ints.
+
+    The worker-side kernel of the parallel backend and the untraced fast
+    path of :func:`_transform` share this loop; it mutates and returns
+    *values*.
+    """
+    n = len(values)
+    if n & (n - 1):
+        raise ValueError(f"NTT length must be a power of two, got {n}")
+    if n <= 1:
+        return values
+    r = modulus
+    bit_reverse_permute(values)
+    length = 2
+    while length <= n:
+        w_len = pow(root, n // length, r)
+        half = length >> 1
+        for start in range(0, n, length):
+            w = 1
+            for k in range(start, start + half):
+                u = values[k]
+                v = values[k + half] * w % r
+                values[k] = (u + v) % r
+                values[k + half] = (u - v) % r
+                w = w * w_len % r
+        length <<= 1
+    return values
+
+
 def _transform(field, values, root, tracer_label):
     """Core iterative Cooley–Tukey transform using the given n-th root."""
     n = len(values)
@@ -46,6 +77,19 @@ def _transform(field, values, root, tracer_label):
         raise ValueError(f"NTT length must be a power of two, got {n}")
     if n <= 1:
         return values
+    t = trace.CURRENT
+    if t is None:
+        # Parallel fast path: decimated sub-transforms in the worker pool
+        # (never under a tracer — the analytical model sees the serial
+        # algorithm).  The kernel replicates this function's metrics,
+        # fault-site and deadline behavior.
+        from repro.parallel.pool import active_pool
+
+        pool = active_pool()
+        if pool is not None and pool.enabled_for(n, "ntt"):
+            from repro.parallel.kernels import ntt_transform_parallel
+
+            return ntt_transform_parallel(field, values, root, pool)
     # One metrics check per transform — amortized over (n/2)·log2(n)
     # butterflies, so the disabled path stays on the fast branch below.
     m = metrics.CURRENT
@@ -58,41 +102,30 @@ def _transform(field, values, root, tracer_label):
     if resilience.DEADLINE is not None:
         resilience.DEADLINE.check()
     r = field.modulus
-    t = trace.CURRENT
-    base = 0
-    if t is not None:
-        base = t.aspace.alloc(n * COEFF_BYTES)
-        t.op("ntt_setup")
+    if t is None:
+        # Untraced fast path: raw modular arithmetic.
+        return transform_raw(values, root, r)
+    base = t.aspace.alloc(n * COEFF_BYTES)
+    t.op("ntt_setup")
     bit_reverse_permute(values)
     # Precompute per-stage twiddle tables (real libraries cache these).
     length = 2
     while length <= n:
         w_len = pow(root, n // length, r)
         half = length >> 1
-        if t is None:
-            # Untraced fast path: raw modular arithmetic.
+        with t.region(f"{tracer_label}_pass", parallel=True, items=n // length):
             for start in range(0, n, length):
                 w = 1
                 for k in range(start, start + half):
                     u = values[k]
-                    v = values[k + half] * w % r
-                    values[k] = (u + v) % r
-                    values[k + half] = (u - v) % r
+                    v = field.mul(values[k + half], w)
+                    values[k] = field.add(u, v)
+                    values[k + half] = field.sub(u, v)
                     w = w * w_len % r
-        else:
-            with t.region(f"{tracer_label}_pass", parallel=True, items=n // length):
-                for start in range(0, n, length):
-                    w = 1
-                    for k in range(start, start + half):
-                        u = values[k]
-                        v = field.mul(values[k + half], w)
-                        values[k] = field.add(u, v)
-                        values[k + half] = field.sub(u, v)
-                        w = w * w_len % r
-                        t.op("ntt_butterfly")
-                # One streaming read+write sweep of the whole array per pass.
-                t.mem_block(base, n * COEFF_BYTES, write=False)
-                t.mem_block(base, n * COEFF_BYTES, write=True)
+                    t.op("ntt_butterfly")
+            # One streaming read+write sweep of the whole array per pass.
+            t.mem_block(base, n * COEFF_BYTES, write=False)
+            t.mem_block(base, n * COEFF_BYTES, write=True)
         length <<= 1
     return values
 

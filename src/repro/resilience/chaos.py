@@ -96,11 +96,14 @@ class ChaosReport:
 
 def run_chaos(seed=0, n_faults=3, curve="bn128", size=32,
               workload="exponentiate", max_attempts=3, sites=None,
-              plan=None):
+              plan=None, workers=None):
     """Run one seeded chaos experiment; returns a :class:`ChaosReport`.
 
     *plan* overrides the schedule derived from *seed* (used by the chaos
-    test suite to pin one fault to one site)."""
+    test suite to pin one fault to one site).  *workers* > 1 runs the
+    pipeline under the parallel backend — faults then fire *inside*
+    worker processes and must still come back typed (the interop the
+    parallel test suite pins down)."""
     from repro.curves import get_curve
     from repro.groth16.serialize import (
         proof_from_bytes,
@@ -115,7 +118,7 @@ def run_chaos(seed=0, n_faults=3, curve="bn128", size=32,
         plan = faults.schedule(seed, n_faults, sites=sites or faults.ALL_SITES)
     curve_obj = get_curve(curve)
     builder, inputs = build_workload(workload, curve_obj, size)
-    wf = Workflow(curve_obj, builder, inputs, seed=seed)
+    wf = Workflow(curve_obj, builder, inputs, seed=seed, workers=workers)
     # sleep=None: chaos replays the backoff *schedule* without paying the
     # wall-clock for it, keeping CI smoke runs fast and deterministic.
     policy = ResiliencePolicy(
@@ -141,6 +144,8 @@ def run_chaos(seed=0, n_faults=3, curve="bn128", size=32,
             status, error = "typed-failure", exc.one_line()
         except Exception as exc:  # noqa: BLE001 — the contract violation path
             status, error = "untyped-failure", f"{type(exc).__name__}: {exc}"
+        finally:
+            wf.close()
 
     counters = {
         name: value

@@ -31,14 +31,26 @@ __all__ = [
 
 
 def resilient_msm(group, points, scalars, window=None):
-    """Pippenger MSM with naive-kernel fallback on a transient fault."""
+    """Pippenger MSM with naive-kernel fallback on a transient fault.
+
+    With a worker pool installed (:mod:`repro.parallel`) and the input
+    large enough, the Pippenger leg runs as the chunked parallel kernel —
+    a worker-side transient fault surfaces here typed, so the same
+    fallback contract covers both execution modes.
+    """
     # Lazy kernel imports: the MSM package instruments its hot paths with
     # resilience fault sites, so importing it here at module load would
     # be circular.
     from repro.msm.naive import msm_naive
     from repro.msm.pippenger import msm_pippenger
+    from repro.parallel.pool import active_pool
 
     try:
+        pool = active_pool()
+        if pool is not None and pool.enabled_for(len(points), "msm"):
+            from repro.parallel.kernels import msm_parallel
+
+            return msm_parallel(group, points, scalars, pool, window=window)
         return msm_pippenger(group, points, scalars, window=window)
     except TransientFault:
         m = metrics.CURRENT

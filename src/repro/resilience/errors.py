@@ -20,6 +20,12 @@ report crisply — has one class here, so callers can build policy on
 ``ResourceExhausted``
     Memory/space pressure.  Not retried as-is; degradation policies
     (:mod:`repro.resilience.degrade`) downshift the work instead.
+``WorkerCrash``
+    An *untyped* exception escaped inside a parallel worker process
+    (:mod:`repro.parallel`).  Taxonomy errors cross the process boundary
+    as themselves; everything else is wrapped here so the parent never
+    sees a pickled traceback — only a one-line typed report naming the
+    original exception.
 ``StageError``
     The terminal wrapper: a stage failed after every retry/degrade avenue,
     carrying the stage name, attempt count, and the underlying typed fault
@@ -39,6 +45,7 @@ __all__ = [
     "StageError",
     "StageTimeout",
     "TransientFault",
+    "WorkerCrash",
     "classify",
     "is_retryable",
 ]
@@ -84,6 +91,22 @@ class ArtifactCorruption(ReproError, ValueError):
 
 class ResourceExhausted(ReproError):
     code = "resources"
+
+
+class WorkerCrash(ReproError):
+    """An untyped exception escaped inside a parallel worker process.
+
+    Typed taxonomy errors are re-raised in the parent as their own class;
+    anything else becomes a ``WorkerCrash`` naming the original exception
+    type so the parent reports one typed line, never a pickled traceback.
+    """
+
+    code = "worker"
+
+    def __init__(self, message, task=None, exc_type=None):
+        super().__init__(message)
+        self.task = task
+        self.exc_type = exc_type
 
 
 class StageError(ReproError):

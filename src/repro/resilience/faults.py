@@ -38,6 +38,7 @@ __all__ = [
     "KINDS",
     "PIPELINE_SITES",
     "injecting",
+    "make_fault",
     "schedule",
 ]
 
@@ -118,6 +119,23 @@ class FaultInjector:
             raise _make_fault(spec)
         return None
 
+    def arm(self, site):
+        """Count one invocation of *site* and return the due spec, if any,
+        **without raising** (or marking it fired).
+
+        This is the shippable form of :meth:`check` used by the parallel
+        kernels: the parent arms the site once per kernel call (same hit
+        cadence as the serial path), sends the due spec into a worker where
+        it actually fires, and marks it fired when the worker reports back.
+        """
+        n = self.hits.get(site, 0) + 1
+        self.hits[site] = n
+        for spec in self.plan:
+            if spec.fired or spec.site != site or spec.hit != n:
+                continue
+            return spec
+        return None
+
     def fired(self):
         return [s for s in self.plan if s.fired]
 
@@ -125,7 +143,8 @@ class FaultInjector:
         return [s for s in self.plan if not s.fired]
 
 
-def _make_fault(spec):
+def make_fault(spec):
+    """Build the taxonomy exception a :class:`FaultSpec` stands for."""
     cls = KINDS[spec.kind]
     msg = f"injected {spec.kind} fault at {spec.site} (hit {spec.hit})"
     if cls is StageTimeout:
@@ -133,6 +152,10 @@ def _make_fault(spec):
     if cls is ArtifactCorruption:
         return cls(msg, artifact=spec.site)
     return cls(msg)
+
+
+# Backwards-compatible private alias (pre-parallel callers).
+_make_fault = make_fault
 
 
 def schedule(seed, n_faults, sites=PIPELINE_SITES, kinds=None, max_hit=2):

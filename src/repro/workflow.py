@@ -19,6 +19,7 @@ from typing import Any, Optional
 
 from repro.circuit.compiler import compile_circuit
 from repro.groth16 import generate_witness, prove, public_inputs, setup, verify
+from repro import parallel
 from repro.obs import ledger, metrics, prof, spans
 from repro.obs.spans import Span
 from repro.perf import trace
@@ -77,6 +78,12 @@ class Workflow:
         ``{name: int}`` assignments for every circuit input.
     seed:
         Seed for the setup/proving randomness, so runs are reproducible.
+    workers:
+        Worker count for the parallel backend (``repro.parallel``);
+        ``None`` reads ``$REPRO_WORKERS``.  Anything above 1 creates a
+        lazy :class:`~repro.parallel.pool.WorkerPool` that every stage
+        runs under — release it with :meth:`close` (or use the workflow
+        as a context manager).  Results are bit-identical either way.
 
     Stages communicate through attributes (``circuit``, ``pk``, ``vk``,
     ``witness``, ``proof``, ``accepted``); :meth:`run_stage` executes one
@@ -84,11 +91,12 @@ class Workflow:
     whole protocol in order.
     """
 
-    def __init__(self, curve, builder, inputs, seed=0):
+    def __init__(self, curve, builder, inputs, seed=0, workers=None):
         self.curve = curve
         self.builder = builder
         self.inputs = dict(inputs)
         self.seed = seed
+        self.workers = workers if workers is not None else parallel.workers_from_env()
         self.circuit = None
         self.pk = None
         self.vk = None
@@ -96,6 +104,32 @@ class Workflow:
         self.proof = None
         self.accepted = None
         self.results = {}
+        self._pool = None
+
+    # -- parallel execution --------------------------------------------------------
+
+    @property
+    def pool(self):
+        """The lazily created :class:`~repro.parallel.pool.WorkerPool`
+        (``None`` when this workflow runs serially)."""
+        if self.workers is None or self.workers <= 1:
+            return None
+        if self._pool is None:
+            self._pool = parallel.WorkerPool(self.workers)
+        return self._pool
+
+    def close(self):
+        """Release the worker pool, if one was created (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
 
     # -- stage implementations ---------------------------------------------------
 
@@ -186,12 +220,13 @@ class Workflow:
             return artifact
 
         policy = resilience.CURRENT
-        if policy is None:
-            if faults.CURRENT is not None:
-                faults.CURRENT.check(f"stage:{stage}")
-            artifact = body()
-        else:
-            artifact = policy.execute_stage(stage, body)
+        with parallel.using(self.pool):
+            if policy is None:
+                if faults.CURRENT is not None:
+                    faults.CURRENT.check(f"stage:{stage}")
+                artifact = body()
+            else:
+                artifact = policy.execute_stage(stage, body)
         sp = recorded_spans[-1] if recorded_spans else None
         elapsed = time.perf_counter() - start
         result = StageResult(stage=stage, artifact=artifact, elapsed=elapsed,

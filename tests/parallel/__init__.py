@@ -1,0 +1,1 @@
+"""Parallel backend: pool contract, serial<->parallel differentials, fuzz."""
