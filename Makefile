@@ -1,8 +1,8 @@
 # Convenience targets; see README.md.
 
-.PHONY: install test lint bench artifacts slow clean profile perf-check chaos \
-	deep-profile drift-check refresh-baseline parallel-test parallel-check \
-	measured
+.PHONY: install test lint codelint bench artifacts slow clean profile \
+	perf-check chaos deep-profile drift-check refresh-baseline \
+	parallel-test parallel-check measured
 
 # Seeds for the chaos smoke (override: make chaos CHAOS_SEEDS="0 7 42").
 CHAOS_SEEDS ?= 0 1 2 3
@@ -22,6 +22,11 @@ lint:
 	@command -v ruff >/dev/null 2>&1 && ruff check . \
 		|| echo "ruff not installed; skipping source lint"
 	PYTHONPATH=src python -m repro lint
+
+# Codebase invariant lints (docs/CODELINT.md): worker-safety, determinism,
+# error-discipline, guard-idiom, and deadline-poll checks over src/repro.
+codelint:
+	PYTHONPATH=src python -m repro codelint
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,24 @@
+"""``repro.analyze.code`` — static analysis over the codebase itself.
+
+The circuit analyzer (PR 1) checks what we *prove*; this package checks
+what we *run*: an AST-level framework with a module import/call graph
+(:mod:`~repro.analyze.code.graph`) and five invariant check families —
+worker-safety (RC1xx), determinism (RC2xx), error-discipline (RC3xx),
+guard-idiom (RC4xx) and deadline-poll (RC5xx) — surfaced through
+``python -m repro codelint``.  See docs/CODELINT.md for the catalog.
+"""
+
+from repro.analyze.code.analyzer import CODE_PASSES, analyze_code, default_root
+from repro.analyze.code.graph import CodeIndex, FunctionInfo
+from repro.analyze.code.model import CodelintConfig, SourceModule, load_tree
+
+__all__ = [
+    "CODE_PASSES",
+    "CodeIndex",
+    "CodelintConfig",
+    "FunctionInfo",
+    "SourceModule",
+    "analyze_code",
+    "default_root",
+    "load_tree",
+]

@@ -58,9 +58,11 @@ class Diagnostic:
     """One analyzer finding.
 
     ``code`` is stable across releases (``ZK1xx`` structural, ``ZK2xx``
-    constraint coverage, ``ZK3xx`` redundancy, ``ZK4xx`` cost); tools may
-    match on it.  ``wire`` / ``constraint`` locate the finding when they
-    apply; ``suggestion`` says how to fix or silence it.
+    constraint coverage, ``ZK3xx`` redundancy, ``ZK4xx`` cost for the
+    circuit analyzer; ``RC1xx``–``RC5xx`` for the codebase analyzer);
+    tools may match on it.  ``wire`` / ``constraint`` locate circuit
+    findings, ``line`` / ``symbol`` locate source findings;
+    ``suggestion`` says how to fix or silence it.
     """
 
     code: str
@@ -69,6 +71,8 @@ class Diagnostic:
     wire: int | None = None
     constraint: int | None = None
     suggestion: str | None = None
+    line: int | None = None
+    symbol: str | None = None
 
     def location(self):
         """Human-readable location fragment (may be empty)."""
@@ -77,6 +81,8 @@ class Diagnostic:
             parts.append(f"constraint {self.constraint}")
         if self.wire is not None:
             parts.append(f"wire {self.wire}")
+        if self.line is not None:
+            parts.append(f"line {self.line}")
         return ", ".join(parts)
 
     def format(self):
@@ -89,7 +95,13 @@ class Diagnostic:
         return text
 
     def fingerprint(self, circuit_name):
-        """Stable identity used by the baseline mechanism."""
+        """Stable identity used by the baseline mechanism.
+
+        Source diagnostics (those carrying a ``symbol``) fingerprint on
+        the symbol, not the line, so unrelated edits shifting line
+        numbers do not invalidate a baseline."""
+        if self.symbol is not None:
+            return f"{circuit_name}:{self.code}:{self.symbol}"
         return (
             f"{circuit_name}:{self.code}"
             f":c{self.constraint if self.constraint is not None else '-'}"
@@ -102,6 +114,10 @@ class Diagnostic:
             d["wire"] = self.wire
         if self.constraint is not None:
             d["constraint"] = self.constraint
+        if self.line is not None:
+            d["line"] = self.line
+        if self.symbol is not None:
+            d["symbol"] = self.symbol
         if self.suggestion:
             d["suggestion"] = self.suggestion
         return d
@@ -112,6 +128,7 @@ class Diagnostic:
             self.code,
             self.constraint if self.constraint is not None else -1,
             self.wire if self.wire is not None else -1,
+            self.line if self.line is not None else -1,
         )
 
 
@@ -166,11 +183,19 @@ class AnalysisReport:
     # -- renderers ---------------------------------------------------------------
 
     def render(self):
-        """Multi-line text rendering, clean circuits included."""
-        head = (
-            f"{self.circuit}: {self.stats.get('n_constraints', '?')} constraints, "
-            f"{self.stats.get('n_wires', '?')} wires"
-        )
+        """Multi-line text rendering, clean units included."""
+        if "n_constraints" in self.stats or "n_wires" in self.stats \
+                or not self.stats:
+            head = (
+                f"{self.circuit}: {self.stats.get('n_constraints', '?')} constraints, "
+                f"{self.stats.get('n_wires', '?')} wires"
+            )
+        else:
+            # Non-circuit units (source modules) carry their own stats;
+            # render whatever numeric shape facts they provide.
+            parts = [f"{v} {k}" for k, v in self.stats.items()
+                     if isinstance(v, (int, float))]
+            head = f"{self.circuit}: {', '.join(parts)}" if parts else self.circuit
         if not self.diagnostics:
             return f"{head} -- clean"
         lines = [f"{head} -- {self.summary()}"]
@@ -192,19 +217,19 @@ class AnalysisReport:
 
 
 def render_reports(reports):
-    """Text rendering of several reports plus a totals line."""
-    lines = [r.render() for r in reports]
-    n_err = sum(len(r.errors()) for r in reports)
-    n_warn = sum(len(r.warnings()) for r in reports)
-    lines.append(
-        f"{len(reports)} circuit(s) analyzed: {n_err} error(s), {n_warn} warning(s)"
-    )
-    return "\n".join(lines)
+    """Text rendering of several reports plus a totals line (delegates
+    to the shared renderer in :mod:`repro.obs.format`)."""
+    from repro.obs.format import render_diagnostic_reports
+
+    return render_diagnostic_reports(reports, noun="circuit")
 
 
 def reports_to_json(reports):
-    """JSON rendering (the ``repro lint --json`` payload)."""
-    return json.dumps({"reports": [r.to_dict() for r in reports]}, indent=2)
+    """JSON rendering (the ``repro lint --json`` payload; shared with
+    ``repro codelint`` via :mod:`repro.obs.format`)."""
+    from repro.obs.format import diagnostic_reports_to_json
+
+    return diagnostic_reports_to_json(reports)
 
 
 # -- baselines -------------------------------------------------------------------

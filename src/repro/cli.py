@@ -8,6 +8,7 @@
     python -m repro parallel-check [--size 4096] [--workers 4] [--min-speedup 1.3]
     python -m repro verify DIR
     python -m repro lint [--circuit NAME] [--json] [--strict]
+    python -m repro codelint [--json] [--baseline PATH]
     python -m repro profile --curve bn128 --size 64 [--json]
     python -m repro deep-profile --curve bn128 --size 8 [--json]
     python -m repro report --compare-model [--sizes 64] [--curves bn128]
@@ -20,7 +21,10 @@ against; ``prove`` runs the five-stage protocol once and reports timings
 (``--out`` also serializes proof/vk/publics); ``verify`` checks such saved
 artifacts, rejecting corrupted blobs with a typed error; ``lint`` runs the
 constraint-system static analyzer (see docs/ANALYZER.md) over the built-in
-circuits and gadgets; ``profile`` runs the five stages under runtime
+circuits and gadgets; ``codelint`` runs the codebase invariant analyzer
+(worker-safety, determinism, error-discipline, guard-idiom, deadline-poll
+— docs/CODELINT.md) over the source tree and exits 1 on any finding;
+``profile`` runs the five stages under runtime
 telemetry (spans + metrics, docs/OBSERVABILITY.md) and appends a
 machine-fingerprinted record to the run ledger; ``deep-profile`` runs the
 stages under the real-interpreter deep profiler (hot functions, measured
@@ -184,6 +188,34 @@ def build_parser():
                       help="ignore findings recorded in this baseline file")
     lint.add_argument("--write-baseline", default=None, metavar="PATH",
                       help="record current findings as accepted and exit")
+
+    codelint = sub.add_parser(
+        "codelint",
+        help="statically analyze the codebase itself for worker-safety, "
+             "determinism, error-discipline, guard-idiom and deadline-poll "
+             "violations (docs/CODELINT.md)",
+    )
+    codelint.add_argument("--root", default=None, metavar="PATH",
+                          help="package dir or single .py file to analyze "
+                               "(default: the installed repro package)")
+    codelint.add_argument("--json", action="store_true", dest="as_json",
+                          help="emit machine-readable diagnostics")
+    codelint.add_argument("--checks", default=None, metavar="NAMES",
+                          help="comma-separated check families to run "
+                               "(worker,determinism,errors,guards,deadline; "
+                               "default all)")
+    codelint.add_argument("--suppress", default=None, metavar="CODES",
+                          help="comma-separated diagnostic codes to drop "
+                               "(e.g. RC203,RC104)")
+    codelint.add_argument("--baseline", default=None, metavar="PATH",
+                          help="ignore findings recorded in this baseline file")
+    codelint.add_argument("--write-baseline", default=None, metavar="PATH",
+                          help="record current findings as accepted and exit")
+    codelint.add_argument("--hot-modules", default=None, metavar="GLOBS",
+                          help="override the RC5xx hot-module globs "
+                               "(comma-separated fnmatch patterns)")
+    codelint.add_argument("--all-modules", action="store_true",
+                          help="also list clean modules in the text report")
 
     profile = sub.add_parser(
         "profile",
@@ -376,6 +408,8 @@ def cmd_list(_args, out=print):
     out("")
     out("also: 'repro prove' (one protocol run), "
         "'repro lint' (circuit static analysis),")
+    out("      'repro codelint' (codebase invariant analysis: "
+        "worker-safety / determinism / error discipline),")
     out("      'repro profile' (runtime telemetry + run ledger), "
         "'repro perf-check' (ledger diff gate),")
     out("      'repro deep-profile' (measured hot functions / opcode mix "
@@ -812,12 +846,48 @@ def cmd_lint(args, out=print):
     return 1 if failed else 0
 
 
+def cmd_codelint(args, out=print):
+    from dataclasses import replace
+
+    from repro.analyze import load_baseline, write_baseline
+    from repro.analyze.code import CodelintConfig, analyze_code
+    from repro.obs.format import (
+        diagnostic_reports_to_json,
+        render_diagnostic_reports,
+    )
+
+    config = CodelintConfig()
+    if args.hot_modules:
+        config = replace(
+            config, hot_modules=tuple(args.hot_modules.split(",")))
+    passes = args.checks.split(",") if args.checks else None
+    suppress = set(args.suppress.split(",")) if args.suppress else set()
+    baseline = load_baseline(args.baseline) if args.baseline else None
+
+    reports = analyze_code(args.root, config=config, passes=passes,
+                           suppress=suppress, baseline=baseline)
+
+    if args.write_baseline:
+        n = write_baseline(args.write_baseline, reports)
+        out(f"wrote {n} fingerprint(s) to {args.write_baseline}")
+        return 0
+
+    if args.as_json:
+        out(diagnostic_reports_to_json(reports))
+    else:
+        out(render_diagnostic_reports(reports, noun="module",
+                                      skip_clean=not args.all_modules))
+    failed = any(r.diagnostics for r in reports)
+    return 1 if failed else 0
+
+
 def main(argv=None, out=print):
     from repro.resilience.errors import ReproError
 
     args = build_parser().parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "prove": cmd_prove,
                "verify": cmd_verify, "lint": cmd_lint,
+               "codelint": cmd_codelint,
                "profile": cmd_profile, "deep-profile": cmd_deep_profile,
                "report": cmd_report, "perf-check": cmd_perf_check,
                "sweep": cmd_sweep, "chaos": cmd_chaos,

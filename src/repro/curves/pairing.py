@@ -152,6 +152,7 @@ class PairingEngine:
         if tracer is not None:
             tracer.op("pairing_final_exp")
         if f.is_zero():
+            # codelint: ignore[RC301] -- mirrors Python division semantics
             raise ZeroDivisionError("final exponentiation of zero (degenerate pairing input)")
         f1 = f.conjugate() * f.inverse()              # f^(p^6 - 1)
         f2 = f1.frobenius().frobenius() * f1          # ... ^(p^2 + 1)

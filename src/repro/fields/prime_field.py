@@ -111,6 +111,7 @@ class PrimeField:
         noise next to the extended-gcd ``pow``.
         """
         if a == 0:
+            # codelint: ignore[RC301] -- mirrors Python division semantics
             raise ZeroDivisionError(f"{self.name}: inversion of zero")
         t = trace.CURRENT
         if t is not None:
@@ -159,6 +160,7 @@ class PrimeField:
         acc = 1
         for i, x in enumerate(xs):
             if x == 0:
+                # codelint: ignore[RC301] -- mirrors Python division semantics
                 raise ZeroDivisionError(f"{self.name}: batch inversion of zero at index {i}")
             prefix[i] = acc
             acc = self.mul(acc, x)

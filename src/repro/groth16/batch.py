@@ -35,6 +35,7 @@ def _engine(curve):
     eng = _ENGINES.get(curve.name)
     if eng is None:
         eng = PairingEngine(curve)
+        # codelint: ignore[RC103] -- per-process engine memo, keyed by curve
         _ENGINES[curve.name] = eng
     return eng
 

@@ -14,6 +14,7 @@ given a real footprint in the traced address space.
 from __future__ import annotations
 
 from repro.perf import trace
+from repro.resilience import retry as resilience
 
 __all__ = ["FixedBaseTable"]
 
@@ -78,6 +79,10 @@ class FixedBaseTable:
 
     def mul(self, scalar):
         """Return ``scalar * base`` using at most ``n_windows`` additions."""
+        # Cooperative deadline poll per scalar — one table walk is the
+        # kernel's smallest unit of work (mul_many inherits the poll).
+        if resilience.DEADLINE is not None:
+            resilience.DEADLINE.check()
         k = scalar % self.group.order
         if k == 0:
             return self.group.infinity()

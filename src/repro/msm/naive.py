@@ -7,6 +7,7 @@ bench (``benchmarks/test_bench_ablation_msm.py``).
 from __future__ import annotations
 
 from repro.perf import trace
+from repro.resilience import retry as resilience
 
 __all__ = ["msm_naive"]
 
@@ -23,12 +24,18 @@ def msm_naive(group, points, scalars):
     acc = group.infinity()
     if t is None:
         for pt, k in zip(points, scalars):
+            # Cooperative deadline poll per term — each term is a full
+            # double-and-add, the kernel's natural preemption point.
+            if resilience.DEADLINE is not None:
+                resilience.DEADLINE.check()
             if pt is None or k % group.order == 0:
                 continue
             acc = acc + group.point_unchecked(*pt) * k
         return acc
     with t.region("msm_naive", parallel=True, items=len(points)):
         for pt, k in zip(points, scalars):
+            if resilience.DEADLINE is not None:
+                resilience.DEADLINE.check()
             if pt is None or k % group.order == 0:
                 continue
             acc = acc + group.point_unchecked(*pt) * k

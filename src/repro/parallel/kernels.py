@@ -127,6 +127,8 @@ def msm_parallel(group, points, scalars, pool, window=None):
         m.observe("repro_msm_points", len(pairs))
         m.inc("repro_parallel_msm_total")
     spec, fault_ctx = _arm_site("msm:pippenger")
+    if resilience.DEADLINE is not None:
+        resilience.DEADLINE.check()
 
     from repro.parallel.pool import chunk_slices
 
@@ -228,6 +230,9 @@ def witness_levels(circuit):
     plan = getattr(circuit, "_parallel_levels", None)
     if plan is not None:
         return plan
+    # Cooperative deadline poll before the O(program) planning sweep.
+    if resilience.DEADLINE is not None:
+        resilience.DEADLINE.check()
     wire_level = {}
     step_level = []
     for step in circuit.program:
@@ -276,6 +281,9 @@ def run_witness_program(circuit, fr, signals, pool):
         m.inc("repro_parallel_witness_levels_total", 0)
 
     for level in witness_levels(circuit):
+        # Poll once per dependency level — between fan-outs, never inside.
+        if resilience.DEADLINE is not None:
+            resilience.DEADLINE.check()
         muls = []
         for idx in level:
             step = program[idx]
@@ -368,6 +376,8 @@ def batch_verify_parallel(vk, batch, rng, pool):
     from repro.parallel.pool import chunk_slices
 
     vk_blob = vk_to_bytes(vk)
+    if resilience.DEADLINE is not None:
+        resilience.DEADLINE.check()
     payloads = []
     for start, stop in chunk_slices(len(batch), pool.workers):
         chunk = batch[start:stop]

@@ -46,8 +46,10 @@ from contextlib import contextmanager
 from repro.resilience import retry as resilience
 from repro.resilience.errors import (
     ArtifactCorruption,
+    PoolStateError,
     ReproError,
     ResourceExhausted,
+    StageOrderError,
     StageTimeout,
     TransientFault,
     WorkerCrash,
@@ -108,6 +110,8 @@ _TYPED = {
     "timeout": StageTimeout,
     "corrupt": ArtifactCorruption,
     "resources": ResourceExhausted,
+    "order": StageOrderError,
+    "pool": PoolStateError,
     "worker": WorkerCrash,
 }
 
@@ -270,7 +274,7 @@ class WorkerPool:
 
     def _ensure_pool(self):
         if self._closed:
-            raise RuntimeError("pool is closed")
+            raise PoolStateError("pool is closed")
         if self._pool is None:
             import multiprocessing
 
@@ -348,6 +352,7 @@ class WorkerPool:
         cpu0 = time.process_time()
         fired = []
         prev_pool = CURRENT
+        # codelint: ignore[RC103] -- serial backend: parent-side save/restore
         CURRENT = None
         try:
             fn = tasks.TASKS.get(fn_name)
@@ -362,7 +367,7 @@ class WorkerPool:
         except BaseException as exc:  # noqa: BLE001
             ok, out = False, encode_error(exc)
         finally:
-            CURRENT = prev_pool
+            CURRENT = prev_pool  # codelint: ignore[RC103] -- restores the saved slot
         return {
             "ok": ok, "value": out, "fired": fired, "pid": os.getpid(),
             "wall_s": time.perf_counter() - wall0,
@@ -436,7 +441,7 @@ def using(pool):
         yield pool
         return
     if CURRENT is not None:
-        raise RuntimeError("a worker pool is already active")
+        raise PoolStateError("a worker pool is already active")
     CURRENT = pool
     try:
         yield pool

@@ -120,6 +120,7 @@ def fixed_base_chunk(payload):
         group = resolve_group(payload["group"])
         table = FixedBaseTable(group.generator, width=payload["width"],
                                bits=payload["bits"])
+        # codelint: ignore[RC103] -- per-process memo; workers never share it
         _FIXED_BASE_TABLES[key] = table
     return [_point_out(table.mul(k)) for k in payload["scalars"]]
 

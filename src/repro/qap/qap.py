@@ -26,6 +26,7 @@ from repro.poly.domain import EvaluationDomain
 from repro.poly.ntt import coset_intt, coset_ntt, intt
 from repro.poly.polynomial import Polynomial
 from repro.perf import trace
+from repro.resilience.errors import ArtifactCorruption
 
 __all__ = ["qap_domain", "column_evaluations_at", "column_polynomials", "compute_h"]
 
@@ -155,5 +156,7 @@ def compute_h(r1cs, witness, domain):
     # deg(A*B - C) <= 2n - 2, so deg(h) <= n - 2: the top coefficient
     # must vanish.  (A non-satisfying witness is caught above.)
     if h[n - 1] != 0:
-        raise ArithmeticError("quotient has unexpected degree; NTT pipeline inconsistency")
+        raise ArtifactCorruption(
+            "quotient has unexpected degree; NTT pipeline inconsistency",
+            artifact="quotient")
     return h[: n - 1]

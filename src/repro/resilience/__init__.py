@@ -46,9 +46,11 @@ from repro.resilience.degrade import (
 )
 from repro.resilience.errors import (
     ArtifactCorruption,
+    PoolStateError,
     ReproError,
     ResourceExhausted,
     StageError,
+    StageOrderError,
     StageTimeout,
     TransientFault,
     classify,
@@ -68,11 +70,13 @@ __all__ = [
     "Deadline",
     "FaultInjector",
     "FaultSpec",
+    "PoolStateError",
     "ReproError",
     "ResiliencePolicy",
     "ResourceExhausted",
     "RetryPolicy",
     "StageError",
+    "StageOrderError",
     "StageTimeout",
     "SweepCheckpoint",
     "TransientFault",

@@ -26,6 +26,15 @@ report crisply — has one class here, so callers can build policy on
     as themselves; everything else is wrapped here so the parent never
     sees a pickled traceback — only a one-line typed report naming the
     original exception.
+``StageOrderError``
+    A protocol step ran before its prerequisite (``proving`` before
+    ``witness``, a sigma ``respond()`` before ``commit()``).  Programmer
+    error, never retried.  Subclasses ``RuntimeError`` so pre-taxonomy
+    callers that caught the old untyped guards keep working.
+``PoolStateError``
+    The worker-pool lifecycle was violated — a map on a closed pool, or
+    activating a second pool under an active one.  Programmer error,
+    never retried.  Subclasses ``RuntimeError`` for the same reason.
 ``StageError``
     The terminal wrapper: a stage failed after every retry/degrade avenue,
     carrying the stage name, attempt count, and the underlying typed fault
@@ -40,9 +49,11 @@ from __future__ import annotations
 
 __all__ = [
     "ArtifactCorruption",
+    "PoolStateError",
     "ReproError",
     "ResourceExhausted",
     "StageError",
+    "StageOrderError",
     "StageTimeout",
     "TransientFault",
     "WorkerCrash",
@@ -91,6 +102,18 @@ class ArtifactCorruption(ReproError, ValueError):
 
 class ResourceExhausted(ReproError):
     code = "resources"
+
+
+class StageOrderError(ReproError, RuntimeError):
+    """A protocol step ran before its prerequisite artifact existed."""
+
+    code = "order"
+
+
+class PoolStateError(ReproError, RuntimeError):
+    """The worker-pool lifecycle contract was violated."""
+
+    code = "pool"
 
 
 class WorkerCrash(ReproError):

@@ -27,6 +27,8 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
+from repro.resilience.errors import StageOrderError
+
 __all__ = [
     "SchnorrProof",
     "SchnorrProver",
@@ -82,7 +84,7 @@ class SchnorrProver:
     def respond(self, challenge):
         """Move 3: answer the verifier's challenge."""
         if self._nonce is None:
-            raise RuntimeError("commit() must be called before respond()")
+            raise StageOrderError("commit() must be called before respond()")
         s = (self._nonce + challenge * self.witness) % self.group.order
         self._nonce = None  # single-use
         return s
@@ -105,7 +107,7 @@ class SchnorrVerifier:
     def check(self, response):
         """Final check: ``s*G == R + c*P``."""
         if self._state is None:
-            raise RuntimeError("challenge() must be called before check()")
+            raise StageOrderError("challenge() must be called before check()")
         commitment, c = self._state
         self._state = None
         lhs = self.group.generator * response

@@ -26,6 +26,7 @@ from repro.perf import trace
 from repro.perf.trace import Tracer
 from repro.resilience import faults
 from repro.resilience import retry as resilience
+from repro.resilience.errors import StageOrderError
 
 __all__ = ["STAGES", "StageResult", "Workflow"]
 
@@ -162,7 +163,7 @@ class Workflow:
 
     def _require(self, stage, artifact):
         if artifact is None:
-            raise RuntimeError(f"stage {stage!r} must run first")
+            raise StageOrderError(f"stage {stage!r} must run first")
 
     # -- drivers -------------------------------------------------------------------
 

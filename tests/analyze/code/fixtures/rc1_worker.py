@@ -1,0 +1,33 @@
+"""Seeded RC1xx violations: every worker-safety check fires here.
+
+Lines carrying a violation are tagged ``# -> RCxxx`` so the tests can
+locate them without hard-coding line numbers.
+"""
+
+_SHARED = {}
+
+
+def good_task(payload):
+    return payload["x"] + 1
+
+
+def bad_signature(payload, flag):  # -> RC102
+    return payload, flag
+
+
+def writes_global(payload):
+    _SHARED[payload["k"]] = payload["v"]  # -> RC103
+    return payload
+
+
+def mutable_default(payload=[]):  # -> RC104  (and RC102: declares a default)
+    return payload
+
+
+TASKS = {
+    "good": good_task,
+    "lam": lambda payload: payload,  # -> RC101
+    "two": bad_signature,
+    "writer": writes_global,
+    "mutdef": mutable_default,
+}

@@ -1,0 +1,15 @@
+"""Seeded RC2xx violations: ambient entropy and clocks on a stage path."""
+
+import random
+import time
+
+
+class FixtureWorkflow:
+    def run_stage(self, stage):
+        return self._stage_sample()
+
+    def _stage_sample(self):
+        k = random.random()  # -> RC201
+        stamp = time.time()  # -> RC202
+        t0 = time.perf_counter()  # -> RC203
+        return k, stamp, t0

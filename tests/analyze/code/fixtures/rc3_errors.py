@@ -1,0 +1,12 @@
+"""Seeded RC3xx violations: untyped raises on a stage path."""
+
+
+class FixtureWorkflow:
+    def run_stage(self, stage):
+        if stage == "boom":
+            raise RuntimeError("untyped ordering guard")  # -> RC301
+        if stage == "broad":
+            raise Exception("catch-all")  # -> RC302
+        if stage == "guard":
+            raise ValueError("sanctioned input guard")  # clean
+        return stage

@@ -1,0 +1,8 @@
+"""Telemetry-slot module for the RC4xx fixture (the defining side)."""
+
+CURRENT = None
+
+
+class Registry:
+    def inc(self, name, value=1):
+        return (name, value)

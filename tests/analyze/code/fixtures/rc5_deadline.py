@@ -1,0 +1,29 @@
+"""Seeded RC5xx violation: a hot loop that never polls the deadline.
+
+Analyzed with ``hot_modules=("rc5_deadline",)``.
+"""
+
+DEADLINE = None
+
+
+def hot_loop(values):  # -> RC501
+    total = 0
+    for v in values:
+        total += v
+    return total
+
+
+def polled_loop(values):  # clean: polls the slot inside the loop
+    total = 0
+    for v in values:
+        if DEADLINE is not None:
+            DEADLINE.check()
+        total += v
+    return total
+
+
+def delegating_loop(values):  # clean: reaches the poll through a callee
+    out = []
+    for v in values:
+        out.append(polled_loop([v]))
+    return out

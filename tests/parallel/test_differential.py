@@ -15,7 +15,7 @@ import random
 
 import pytest
 
-from repro.curves import BLS12_381, BN128, get_curve
+from repro.curves import BN128, get_curve
 from repro.fields import BN254_FR
 from repro.msm.fixed_base import FixedBaseTable
 from repro.msm.pippenger import msm_pippenger

@@ -202,6 +202,22 @@ class TestLifecycle:
         with pytest.raises(RuntimeError):
             pool.map("selftest_square", [{"x": 2}])
 
+    def test_lifecycle_guards_are_typed(self):
+        # Both guards are taxonomy leaves (error[pool]) that still
+        # satisfy the RuntimeError expectations of older callers.
+        from repro.resilience.errors import PoolStateError
+
+        pool = WorkerPool(2)
+        pool.close()
+        with pytest.raises(PoolStateError, match="closed") as exc_info:
+            pool.map("selftest_square", [{"x": 2}])
+        assert exc_info.value.one_line() == "error[pool]: pool is closed"
+        with WorkerPool(2) as a, WorkerPool(2) as b:
+            with using(a):
+                with pytest.raises(PoolStateError, match="already active"):
+                    with using(b):
+                        pass
+
 
 class TestInstallation:
     def test_using_installs_and_restores(self):

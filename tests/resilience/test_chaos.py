@@ -9,7 +9,7 @@ error).  An untyped traceback anywhere is a bug.
 import pytest
 
 from repro.resilience import faults
-from repro.resilience.chaos import ACCEPTABLE, run_chaos
+from repro.resilience.chaos import run_chaos
 from repro.resilience.faults import KINDS, FaultSpec
 
 SIZE = 16  # small circuit: the matrix runs the full pipeline many times

@@ -4,9 +4,11 @@ import pytest
 
 from repro.resilience.errors import (
     ArtifactCorruption,
+    PoolStateError,
     ReproError,
     ResourceExhausted,
     StageError,
+    StageOrderError,
     StageTimeout,
     TransientFault,
     classify,
@@ -68,3 +70,45 @@ class TestStageError:
         line = exc.one_line()
         assert "\n" not in line
         assert line.startswith("error[stage]:")
+
+
+class TestLifecycleErrors:
+    """The PR 6 leaves replacing the untyped RuntimeError guards."""
+
+    def test_codes_are_stable(self):
+        assert StageOrderError("x").code == "order"
+        assert PoolStateError("x").code == "pool"
+
+    def test_one_liners(self):
+        assert StageOrderError("stage 'setup' must run first").one_line() \
+            == "error[order]: stage 'setup' must run first"
+        assert PoolStateError("pool is closed").one_line() \
+            == "error[pool]: pool is closed"
+
+    def test_are_repro_errors_and_classified(self):
+        assert isinstance(StageOrderError("x"), ReproError)
+        assert isinstance(PoolStateError("x"), ReproError)
+        assert classify(StageOrderError("x")) == "order"
+        assert classify(PoolStateError("x")) == "pool"
+
+    def test_runtime_error_compat(self):
+        # Pre-taxonomy callers caught RuntimeError from the ordering and
+        # pool-lifecycle guards; the typed classes keep satisfying them.
+        with pytest.raises(RuntimeError):
+            raise StageOrderError("stage 'witness' must run first")
+        with pytest.raises(RuntimeError):
+            raise PoolStateError("a worker pool is already active")
+
+    def test_programmer_errors_are_not_retryable(self):
+        # Re-running the same out-of-order call fails the same way.
+        assert not is_retryable(StageOrderError("x"))
+        assert not is_retryable(PoolStateError("x"))
+
+    def test_cross_process_envelope_roundtrip(self):
+        from repro.parallel.pool import decode_error, encode_error
+
+        for exc in (StageOrderError("out of order"),
+                    PoolStateError("pool is closed")):
+            back = decode_error(encode_error(exc))
+            assert type(back) is type(exc)
+            assert str(back) == str(exc)

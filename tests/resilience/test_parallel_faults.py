@@ -18,7 +18,6 @@ from repro.msm.pippenger import msm_pippenger
 from repro.parallel.kernels import msm_parallel, ntt_transform_parallel
 from repro.parallel.pool import WorkerPool
 from repro.poly.domain import EvaluationDomain
-from repro.poly.ntt import transform_raw
 from repro.resilience import faults
 from repro.resilience.chaos import run_chaos
 from repro.resilience.errors import (

@@ -21,7 +21,6 @@ from repro.resilience.retry import (
     with_retry,
 )
 from repro.workflow import Workflow
-from tests.conftest import make_pow_circuit
 
 
 def _no_sleep_policy(max_attempts=3, seed=0):

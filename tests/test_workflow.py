@@ -48,6 +48,15 @@ class TestStageOrder:
         with pytest.raises(RuntimeError):
             wf.run_stage("verifying")
 
+    def test_ordering_guard_is_typed(self):
+        # The guard is a taxonomy leaf (error[order]) that still
+        # satisfies the RuntimeError expectations above.
+        from repro.resilience.errors import StageOrderError
+
+        with pytest.raises(StageOrderError, match="compile") as exc_info:
+            make_workflow().run_stage("setup")
+        assert exc_info.value.one_line().startswith("error[order]:")
+
 
 class TestArtifacts:
     def test_artifact_flow(self):
