@@ -2,7 +2,7 @@
 
 .PHONY: install test lint codelint bench artifacts slow clean profile \
 	perf-check chaos deep-profile drift-check refresh-baseline \
-	parallel-test parallel-check measured
+	parallel-test parallel-check parallel-report measured
 
 # Seeds for the chaos smoke (override: make chaos CHAOS_SEEDS="0 7 42").
 CHAOS_SEEDS ?= 0 1 2 3
@@ -84,6 +84,16 @@ MIN_SPEEDUP ?= 1.3
 parallel-check:
 	PYTHONPATH=src python -m repro parallel-check --size 4096 \
 		--workers $(PAR_WORKERS) --min-speedup $(MIN_SPEEDUP)
+
+# Parallel-efficiency report (docs/PARALLELISM.md): per-stage speedup,
+# worker busy time, utilization, imbalance, dispatch overhead, and the
+# Amdahl-fit drift, from a measured sweep with worker telemetry on.
+REPORT_SIZE ?= 1024
+REPORT_WORKERS ?= 1,2,4
+parallel-report:
+	PYTHONPATH=src python -m repro parallel-report --size $(REPORT_SIZE) \
+		--workers $(REPORT_WORKERS) \
+		--worker-trace results/parallel/worker_trace.json
 
 # Measured Fig. 6 (strong scaling) on real worker processes; Fig. 7 and
 # Table VI accept the same flags (docs/PARALLELISM.md).

@@ -6,6 +6,7 @@
     python -m repro run fig6 --measured --workers 1,2,4 [--sizes 4096]
     python -m repro prove --curve bn128 --exponent 64 --x 3 [--out DIR]
     python -m repro parallel-check [--size 4096] [--workers 4] [--min-speedup 1.3]
+    python -m repro parallel-report [--size 4096] [--workers 1,2,4] [--json]
     python -m repro verify DIR
     python -m repro lint [--circuit NAME] [--json] [--strict]
     python -m repro codelint [--json] [--baseline PATH]
@@ -37,14 +38,20 @@ perf gate; ``sweep`` runs the profiling sweep with per-cell checkpoints so
 a killed run resumes (docs/ROBUSTNESS.md); ``chaos`` replays a seeded
 fault schedule through the pipeline and reports recovery outcomes.
 
-The parallel backend (docs/PARALLELISM.md) surfaces in four places:
+The parallel backend (docs/PARALLELISM.md) surfaces in five places:
 ``run --measured`` drives fig6/fig7/table6 from *measured* wall times
-under real worker processes instead of the analytical model;
+under real worker processes instead of the analytical model (fig6 also
+collects cross-process worker telemetry);
 ``prove --workers N`` / ``profile --workers N`` / ``chaos --workers N``
 run the pipeline under a worker pool (chaos then proves faults inside
-workers still come back typed); ``parallel-check`` is the CI speedup
+workers still come back typed; profile merges worker telemetry into its
+ledger record and can export the per-worker-lane timeline via
+``--worker-trace``); ``parallel-check`` is the CI speedup
 gate — it times the proving stage serial vs. pooled and exits 1 below
-the threshold, skipping cleanly on machines without enough cores.
+the threshold, skipping cleanly on machines without enough cores;
+``parallel-report`` turns a measured worker sweep into per-worker busy
+time, parallel efficiency, imbalance and dispatch overhead, with the
+Amdahl fit as a drift reference.
 
 Every verb exits **2** with a one-line ``error[<code>]: ...`` message —
 never a traceback — on bad input or corrupted artifacts
@@ -99,7 +106,11 @@ def _parse_curves(text):
 
 
 def _positive_int(text):
-    n = int(text)
+    try:
+        n = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}") from None
     if n < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {text!r}")
     return n
@@ -248,6 +259,34 @@ def build_parser():
                          help="run under N worker processes (ignored for "
                               "stages traced via --chrome-trace, which "
                               "must stay serial to model costs)")
+    profile.add_argument("--worker-trace", default=None, metavar="PATH",
+                         help="write the merged worker task timeline (one "
+                              "pid lane per worker) as chrome-trace JSON "
+                              "here; needs --workers > 1")
+
+    preport = sub.add_parser(
+        "parallel-report",
+        help="measured worker sweep -> per-worker busy time, parallel "
+             "efficiency, imbalance and dispatch overhead "
+             "(docs/PARALLELISM.md)",
+    )
+    preport.add_argument("--curve", type=_curve_name, default="bn128")
+    preport.add_argument("--size", type=_positive_int, default=4096,
+                         help="constraint count of the workload circuit")
+    preport.add_argument("--workers", type=_parse_workers, default=(1, 2, 4),
+                         help="comma-separated worker counts to sweep "
+                              "(default 1,2,4; 1 is added if missing — it "
+                              "anchors speedup)")
+    preport.add_argument("--workload", default="exponentiate",
+                         help="workload family (repro.harness.circuits.WORKLOADS)")
+    preport.add_argument("--seed", type=int, default=0)
+    preport.add_argument("--repeats", type=_positive_int, default=1,
+                         help="best-of-N runs per worker count (default 1)")
+    preport.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the report as JSON instead of text")
+    preport.add_argument("--worker-trace", default=None, metavar="PATH",
+                         help="also write the top worker count's task "
+                              "timeline as chrome-trace JSON")
 
     deep = sub.add_parser(
         "deep-profile",
@@ -461,6 +500,11 @@ def _run_measured(args, out):
             kwargs["base_size"] = args.sizes[0] if args.sizes else 256
         else:
             kwargs["size"] = args.sizes[0] if args.sizes else 4096
+        if name == "fig6" and max(workers) > 1:
+            # Strong-scaling runs double as the worker-telemetry source:
+            # ledger records (if one is installed) gain the v3 workers
+            # block and the sweep prints pool utilization below.
+            kwargs["telemetry"] = True
         out(f"measured {name}: curve={curve} workers={workers} "
             f"{'base_size' if name == 'fig7' else 'size'}="
             f"{kwargs.get('base_size', kwargs.get('size'))} "
@@ -480,10 +524,26 @@ def _run_measured(args, out):
             out(f"  model drift at {max(workers)}w (measured - modeled "
                 f"speedup): " + "  ".join(
                     f"{s}{v:+.2f}" for s, v in drift.items()))
+        telemetry = result.extras.get("worker_telemetry") or {}
+        top_block = telemetry.get(str(max(workers)))
+        if top_block:
+            out(f"  worker telemetry at {max(workers)}w: utilization "
+                f"{top_block['utilization']:.2f}, imbalance "
+                f"{top_block['imbalance']:.2f}, "
+                f"{top_block['totals']['tasks']} task(s) over "
+                f"{top_block['totals']['maps']} map(s)")
         if args.out:
             os.makedirs(args.out, exist_ok=True)
             with open(os.path.join(args.out, f"{name}_measured.txt"), "w") as f:
                 f.write(text + "\n")
+            if top_block:
+                from repro.perf.export import worker_tasks_to_chrome_trace
+
+                trace_path = os.path.join(args.out,
+                                          f"{name}_worker_trace.json")
+                with open(trace_path, "w") as f:
+                    f.write(worker_tasks_to_chrome_trace(top_block))
+                out(f"  worker trace: wrote {trace_path}")
     return 0
 
 
@@ -549,11 +609,18 @@ def cmd_verify(args, out=print):
 
 
 def cmd_profile(args, out=print):
+    from contextlib import nullcontext
+
     from repro.curves import get_curve
     from repro.harness.circuits import build_workload
     from repro.obs import format as obs_format
     from repro.obs import ledger, metrics, spans
-    from repro.perf.export import spans_to_chrome_trace, stages_to_chrome_trace
+    from repro.obs import worker as obs_worker
+    from repro.perf.export import (
+        spans_to_chrome_trace,
+        stages_to_chrome_trace,
+        worker_tasks_to_chrome_trace,
+    )
     from repro.perf.trace import Tracer
     from repro.workflow import STAGES, Workflow
 
@@ -568,7 +635,11 @@ def cmd_profile(args, out=print):
     registry = metrics.MetricsRegistry()
     tracers = {}
     label = f"profile:{args.curve}/{args.size}"
-    with wf, metrics.collecting(registry), spans.recording(label) as rec:
+    collect = (obs_worker.collecting_tasks(label=label)
+               if args.workers is not None and args.workers > 1
+               else nullcontext())
+    with wf, collect as tel, metrics.collecting(registry), \
+            spans.recording(label) as rec:
         for stage in STAGES:
             # Tracing perturbs wall time, so tracers are attached only when
             # a modeled chrome-trace was asked for; span wall times then
@@ -582,6 +653,8 @@ def cmd_profile(args, out=print):
         out("profiled workflow produced a rejected proof")
         return 1
 
+    workers_block = (tel.to_workers_block()
+                     if tel is not None and tel.tasks else None)
     record = ledger.make_record(
         kind="profile",
         curve=args.curve,
@@ -591,6 +664,7 @@ def cmd_profile(args, out=print):
         stages=[wf.results[s].to_record() for s in STAGES],
         metrics=registry.snapshot(),
         label=args.label,
+        workers=workers_block,
     )
     if args.chrome_trace:
         obs_format.write_artifact(args.chrome_trace,
@@ -600,6 +674,14 @@ def cmd_profile(args, out=print):
         obs_format.write_artifact(args.span_trace,
                                   spans_to_chrome_trace(rec.root),
                                   out, "span-trace", quiet=True)
+    if args.worker_trace:
+        if workers_block is None:
+            out("worker-trace: skipped — no worker telemetry captured "
+                "(pass --workers > 1 and a payload large enough to fan out)")
+        else:
+            obs_format.write_artifact(args.worker_trace,
+                                      worker_tasks_to_chrome_trace(workers_block),
+                                      out, "worker-trace", quiet=True)
 
     obs_format.emit_record(record, args.as_json, out, render=[
         lambda: spans.render_spans(rec.root),
@@ -768,7 +850,11 @@ def cmd_parallel_check(args, out=print):
     builder, inputs = build_workload(args.workload, curve, args.size)
     # One workflow: compile/setup/witness once, then time proving twice —
     # serial baseline first, then under the pool (flipping .workers before
-    # the pool property first materializes it).
+    # the pool property first materializes it).  The pooled timings run
+    # under a worker-telemetry collector so the verdict line can say not
+    # just how fast the pool was but how busy the workers were.
+    from repro.obs import worker as obs_worker
+
     with Workflow(curve, builder, inputs, seed=args.seed, workers=1) as wf:
         for stage in ("compile", "setup", "witness"):
             wf.run_stage(stage)
@@ -776,8 +862,9 @@ def cmd_parallel_check(args, out=print):
                        for _ in range(args.repeats))
         serial_bytes = proof_to_bytes(wf.proof)
         wf.workers = args.workers
-        parallel_s = min(wf.run_stage("proving").elapsed
-                         for _ in range(args.repeats))
+        with obs_worker.collecting_tasks(label="parallel-check") as tel:
+            parallel_s = min(wf.run_stage("proving").elapsed
+                             for _ in range(args.repeats))
         identical = proof_to_bytes(wf.proof) == serial_bytes
 
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
@@ -786,6 +873,11 @@ def cmd_parallel_check(args, out=print):
         f"{args.workers}w {parallel_s:.3f}s, speedup {speedup:.2f}x "
         f"(need >= {args.min_speedup:.2f}x), proof bytes "
         f"{'identical' if identical else 'DIFFER'}")
+    if tel.tasks:
+        out(f"parallel-check: worker utilization {tel.utilization():.2f}, "
+            f"busy-time imbalance {tel.imbalance():.2f}, dispatch overhead "
+            f"{tel.dispatch_overhead_s():.4f}s over {len(tel.tasks)} task(s) "
+            f"in {len(tel.maps)} map(s)")
     if not identical:
         out("parallel-check: FAIL — parallel proof bytes differ from serial")
         return 1
@@ -793,6 +885,33 @@ def cmd_parallel_check(args, out=print):
         out("parallel-check: FAIL — speedup below threshold")
         return 1
     out("parallel-check: OK")
+    return 0
+
+
+def cmd_parallel_report(args, out=print):
+    from repro.obs import format as obs_format
+    from repro.obs.worker import build_parallel_report
+    from repro.perf.export import worker_tasks_to_chrome_trace
+
+    cores = os.cpu_count() or 1
+    top = max(args.workers)
+    if top > cores:
+        out(f"parallel-report: note — sweeping up to {top} workers on "
+            f"{cores} core(s); efficiency at oversubscribed counts "
+            f"reflects time-slicing, not the algorithm")
+    report, tel = build_parallel_report(
+        curve=args.curve, size=args.size, workers=args.workers,
+        workload=args.workload, seed=args.seed, repeats=args.repeats)
+    if args.worker_trace:
+        if tel is None or not tel.tasks:
+            out("worker-trace: skipped — the sweep recorded no worker tasks")
+        else:
+            obs_format.write_artifact(
+                args.worker_trace,
+                worker_tasks_to_chrome_trace(tel.to_workers_block()),
+                out, "worker-trace", quiet=args.as_json)
+    obs_format.emit_record(report.to_dict(), args.as_json, out,
+                           render=[report.render_text])
     return 0
 
 
@@ -891,7 +1010,8 @@ def main(argv=None, out=print):
                "profile": cmd_profile, "deep-profile": cmd_deep_profile,
                "report": cmd_report, "perf-check": cmd_perf_check,
                "sweep": cmd_sweep, "chaos": cmd_chaos,
-               "parallel-check": cmd_parallel_check}[args.command]
+               "parallel-check": cmd_parallel_check,
+               "parallel-report": cmd_parallel_report}[args.command]
     try:
         return handler(args, out=out)
     except ReproError as exc:

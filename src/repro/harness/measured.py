@@ -57,24 +57,38 @@ REFERENCE_SIZE = 256
 
 
 def measured_stage_times(curve_name, size, workers, workload="exponentiate",
-                         seed=0, repeats=1):
+                         seed=0, repeats=1, telemetry=False):
     """Measured wall seconds per stage per worker count.
 
     Runs the full workflow once per worker count (*repeats* times, taking
     the per-stage minimum — the standard best-of-N noise filter) and
     returns ``{stage: {n_workers: seconds}}``.  Every run re-executes all
     five stages so the inter-stage artifacts are bit-identical inputs.
+
+    With *telemetry* on, every run executes under a
+    :class:`repro.obs.worker.WorkerTelemetry` collector and the return
+    value becomes ``(times, telemetry_by_n)``, keeping the collector of
+    the *last* repeat per worker count (per-task records of one coherent
+    run, not a min-mixed chimera).
     """
+    from contextlib import nullcontext
+
     from repro.curves import get_curve
     from repro.harness.circuits import build_workload
+    from repro.obs import worker as obs_worker
 
     curve = get_curve(curve_name)
     times = {stage: {} for stage in STAGES}
+    telemetry_by_n = {}
     for n in workers:
         best = {}
         for _ in range(max(1, repeats)):
             builder, inputs = build_workload(workload, curve, size)
-            with Workflow(curve, builder, inputs, seed=seed, workers=n) as wf:
+            collect = (obs_worker.collecting_tasks(label=f"{workload}:{n}w")
+                       if telemetry else nullcontext())
+            with collect as tel, \
+                    Workflow(curve, builder, inputs, seed=seed,
+                             workers=n) as wf:
                 wf.run_all()
                 if wf.accepted is not True:
                     raise RuntimeError(
@@ -84,8 +98,12 @@ def measured_stage_times(curve_name, size, workers, workload="exponentiate",
                     elapsed = wf.results[stage].elapsed
                     if stage not in best or elapsed < best[stage]:
                         best[stage] = elapsed
+            if tel is not None:
+                telemetry_by_n[n] = tel
         for stage in STAGES:
             times[stage][n] = best[stage]
+    if telemetry:
+        return times, telemetry_by_n
     return times
 
 
@@ -125,12 +143,23 @@ def _drift(measured, modeled, workers):
 
 def fig6_measured(size=4096, workers=(1, 2, 4), curve="bn128",
                   workload="exponentiate", seed=0, repeats=1,
-                  with_reference=True):
+                  with_reference=True, telemetry=False):
     """Measured strong scaling: wall time and speedup per stage at fixed
-    *size*, with the Amdahl serial fraction fitted per stage."""
+    *size*, with the Amdahl serial fraction fitted per stage.
+
+    With *telemetry* on, every run executes under a worker-telemetry
+    collector (so an installed ledger records ``workers`` blocks) and
+    ``extras["worker_telemetry"]`` carries the per-worker-count blocks.
+    """
     workers = tuple(sorted(set(workers)))
-    times = measured_stage_times(curve, size, workers, workload=workload,
-                                 seed=seed, repeats=repeats)
+    telemetry_by_n = {}
+    if telemetry:
+        times, telemetry_by_n = measured_stage_times(
+            curve, size, workers, workload=workload, seed=seed,
+            repeats=repeats, telemetry=True)
+    else:
+        times = measured_stage_times(curve, size, workers, workload=workload,
+                                     seed=seed, repeats=repeats)
     rows = []
     speedups = {}
     fits = {}
@@ -153,6 +182,11 @@ def fig6_measured(size=4096, workers=(1, 2, 4), curve="bn128",
         "size": size,
         "cpu_count": os.cpu_count(),
     }
+    if telemetry_by_n:
+        extras["worker_telemetry"] = {
+            str(n): tel.to_workers_block()
+            for n, tel in sorted(telemetry_by_n.items())
+        }
     if with_reference:
         modeled = _modeled_reference(curve, workers, workload, seed)
         extras["modeled"] = modeled

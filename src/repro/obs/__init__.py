@@ -25,6 +25,10 @@ Modules
 :mod:`repro.obs.perfcheck`
     Diff two ledgers per (stage, curve, size) — the CI perf-regression
     gate behind ``python -m repro perf-check``.
+:mod:`repro.obs.worker`
+    Cross-process worker telemetry: the parent-side collector that the
+    :class:`~repro.parallel.pool.WorkerPool` feeds per-task telemetry
+    blocks into, and the ``parallel-report`` efficiency analysis.
 
 Every collector in this package is **off by default** and guarded the same
 way the tracer is (module-level ``CURRENT is None``), so untelemetered runs
@@ -39,12 +43,16 @@ from repro.obs.ledger import Ledger, make_record, read_ledger, recording_to
 from repro.obs.metrics import MetricsRegistry, collecting
 from repro.obs.perfcheck import perf_check
 from repro.obs.spans import Span, recording, render_spans, span, spanned
+from repro.obs.worker import WorkerTelemetry, build_parallel_report, collecting_tasks
 
 __all__ = [
     "Ledger",
     "MetricsRegistry",
     "Span",
+    "WorkerTelemetry",
+    "build_parallel_report",
     "collecting",
+    "collecting_tasks",
     "git_revision",
     "machine_fingerprint",
     "make_record",

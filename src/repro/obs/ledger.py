@@ -12,11 +12,11 @@ unless a ledger is installed (:func:`install`, :func:`recording_to`, or
 the ``REPRO_LEDGER=<path>`` environment variable at import time), so the
 test suite's thousands of workflow runs write nothing.
 
-Record schema (version 2) — see ``docs/OBSERVABILITY.md`` for a worked
+Record schema (version 3) — see ``docs/OBSERVABILITY.md`` for a worked
 example::
 
     {
-      "schema": 2,
+      "schema": 3,
       "kind": "profile" | "workflow" | "profile_run" | "deep-profile",
       "ts": <unix seconds>,
       "label": <free-form or null>,
@@ -27,14 +27,16 @@ example::
       "stages": [ {"stage", "elapsed_s", "span": {...}|null,
                    "cpu_s"?, "rss_peak_delta_kb"?, "gc_collections"?}, ... ],
       "metrics": {...MetricsRegistry.snapshot()...} | null,
-      "profile": {...DeepProfiler.to_profile_block()...} | null
+      "profile": {...DeepProfiler.to_profile_block()...} | null,
+      "workers": {...WorkerTelemetry.to_workers_block()...} | null
     }
 
 Version history: v1 had no ``profile`` field and no lifted per-stage
-``cpu_s``/``rss_peak_delta_kb``/``gc_collections``.  Readers treat both
-as optional, so v1 ledgers keep loading and ``perf-check`` works across
-mixed-version ledgers (``--metric cpu``/``rss`` simply skips v1 cells
-whose stage records carry no span).
+``cpu_s``/``rss_peak_delta_kb``/``gc_collections``; v2 had no
+``workers`` block (cross-process worker telemetry, PR 7).  Readers treat
+every versioned field as optional, so v1/v2 ledgers keep loading and
+``perf-check`` works across mixed-version ledgers (``--metric
+cpu``/``rss`` simply skips v1 cells whose stage records carry no span).
 """
 
 from __future__ import annotations
@@ -57,7 +59,7 @@ __all__ = [
     "uninstall",
 ]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Conventional ledger directory (relative to the working directory).
 DEFAULT_DIR = os.path.join("results", "runs")
@@ -87,13 +89,15 @@ class Ledger:
 
 
 def make_record(kind, curve, size, workload, stages, seed=None, metrics=None,
-                label=None, profile=None):
-    """Assemble one schema-v2 record.
+                label=None, profile=None, workers=None):
+    """Assemble one schema-v3 record.
 
     *stages* is a list of stage dicts (``StageResult.to_record()`` shape);
     *metrics* a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`;
     *profile* a :meth:`~repro.obs.prof.DeepProfiler.to_profile_block`
-    (``None`` for unprofiled runs).
+    (``None`` for unprofiled runs); *workers* a
+    :meth:`~repro.obs.worker.WorkerTelemetry.to_workers_block` (``None``
+    for serial or untelemetered runs).
     """
     fp = machine_fingerprint()
     return {
@@ -111,6 +115,7 @@ def make_record(kind, curve, size, workload, stages, seed=None, metrics=None,
         "stages": list(stages),
         "metrics": metrics,
         "profile": profile,
+        "workers": workers,
     }
 
 

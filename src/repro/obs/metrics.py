@@ -32,6 +32,7 @@ from contextlib import contextmanager
 __all__ = [
     "DEFAULT_BUCKETS",
     "MetricsRegistry",
+    "TIME_BUCKETS",
     "collecting",
     "current_registry",
 ]
@@ -44,6 +45,13 @@ CURRENT = None
 #: Default histogram boundaries: powers of two over the full sweep range
 #: (circuit sizes, MSM point counts and batch sizes are all ~powers of two).
 DEFAULT_BUCKETS = tuple(2**k for k in range(21))
+
+#: Histogram boundaries for durations in seconds (queue waits, task wall
+#: times): 1-2.5-5 decades from 100 microseconds to one minute, so both a
+#: sub-millisecond dispatch and a straggling multi-second chunk land in a
+#: meaningful bucket.
+TIME_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+                0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
 
 _NAME_RE = re.compile(r"^repro(_[a-z0-9]+)+$")
 
@@ -130,6 +138,38 @@ class MetricsRegistry:
         elif buckets is not DEFAULT_BUCKETS and tuple(buckets) != hist.boundaries:
             raise ValueError(f"histogram {name!r} already exists with other boundaries")
         hist.observe(value, n)
+
+    # -- cross-process merge -------------------------------------------------
+
+    def merge(self, snapshot):
+        """Fold a :meth:`snapshot`-shaped delta dict into this registry.
+
+        This is the parent side of the worker-telemetry protocol
+        (:mod:`repro.obs.worker`): each worker task runs under a *fresh*
+        registry, so its snapshot is exactly the task's delta, and merging
+        is counter addition, gauge last-write, and element-wise histogram
+        bucket addition.  Histograms merge only onto identical boundaries
+        (both sides are created from the same instrumentation sites, so a
+        mismatch is a protocol bug, not data).  Returns ``self``.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.inc(name, value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.set_gauge(name, value)
+        for name, data in (snapshot.get("histograms") or {}).items():
+            bounds = tuple(data["boundaries"])
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms.setdefault(
+                    _check_name(name), Histogram(bounds))
+            elif bounds != hist.boundaries:
+                raise ValueError(
+                    f"histogram {name!r} already exists with other boundaries")
+            for i, n in enumerate(data["counts"]):
+                hist.counts[i] += n
+            hist.count += data["count"]
+            hist.total += data["sum"]
+        return self
 
     # -- reads ---------------------------------------------------------------
 

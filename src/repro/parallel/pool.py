@@ -30,6 +30,19 @@ cannot inherit: the remaining seconds of the parent's cooperative
 :class:`~repro.resilience.faults.FaultSpec` so the fault actually fires
 *inside* the worker (see ``FaultInjector.arm``).
 
+When a :class:`~repro.obs.worker.WorkerTelemetry` collector is installed
+(``obs.worker.CURRENT``), the same context additionally carries
+``telemetry: True`` plus a dispatch timestamp, and the envelope answers
+with an opt-in telemetry block: per-task wall/CPU time, peak-RSS delta,
+queue wait, payload decode / result encode timings and byte sizes, the
+task's metric deltas (captured under a fresh registry, so the snapshot
+*is* the delta) and a compact span subtree.  ``_settle`` merges the
+blocks back into the parent — ``MetricsRegistry.merge``, span grafting
+under the dispatching span, pool-level queue-wait/task-wall histograms
+and utilization/imbalance gauges — so the worker layer stops being a
+telemetry black box without giving up the hard reset
+(``_reset_worker_globals``) that keeps untelemetered workers silent.
+
 The process-global ``CURRENT`` slot follows the repo-wide idiom
 (``trace.CURRENT`` etc.): kernels check ``parallel.CURRENT`` and stay on
 the serial path when it is ``None``, when the pool has one worker, or
@@ -40,8 +53,9 @@ serial algorithms).
 from __future__ import annotations
 
 import os
+import pickle
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 
 from repro.resilience import retry as resilience
 from repro.resilience.errors import (
@@ -75,15 +89,24 @@ WORKERS_ENV = "REPRO_WORKERS"
 
 
 def workers_from_env(default=None):
-    """Worker count from ``$REPRO_WORKERS``, or *default* when unset/bad."""
+    """Worker count from ``$REPRO_WORKERS``, or *default* when unset/empty.
+
+    A set-but-bad value (non-integer, zero, negative) raises ``ValueError``
+    rather than silently falling back: a typo in ``REPRO_WORKERS=16``
+    should fail loudly as a one-line CLI error, not quietly run serial.
+    """
     raw = os.environ.get(WORKERS_ENV)
-    if not raw:
+    if raw is None or raw == "":
         return default
     try:
         n = int(raw)
     except ValueError:
-        return default
-    return n if n >= 1 else default
+        raise ValueError(
+            f"bad {WORKERS_ENV}={raw!r}: expected a positive integer"
+        ) from None
+    if n < 1:
+        raise ValueError(f"bad {WORKERS_ENV}={raw!r}: workers must be >= 1")
+    return n
 
 
 def chunk_slices(n, parts):
@@ -158,6 +181,7 @@ def _reset_worker_globals():
     inherited.  The parent owns telemetry; workers compute."""
     global CURRENT
     from repro.obs import ledger, metrics, prof, spans
+    from repro.obs import worker as obs_worker
     from repro.perf import trace
     from repro.resilience import faults
 
@@ -166,6 +190,7 @@ def _reset_worker_globals():
     spans.CURRENT = None
     prof.CURRENT = None
     ledger.CURRENT = None
+    obs_worker.CURRENT = None
     faults.CURRENT = None
     resilience.CURRENT = None
     resilience.DEADLINE = None
@@ -201,6 +226,44 @@ def _run_task(fn_name, payload, ctx):
     return result, [s.to_dict() for s in [spec] if s.fired]
 
 
+def _run_task_telemetered(fn_name, payload, ctx, wall0):
+    """Run one task while capturing its telemetry block.
+
+    Only reached when the parent shipped ``telemetry: True`` (a
+    :class:`~repro.obs.worker.WorkerTelemetry` collector is installed), so
+    the plain path in :func:`_worker_envelope` stays untouched.  The task
+    runs under a *fresh* metrics registry and span recorder — worker
+    globals were just reset, so installing them cannot nest — which makes
+    the shipped snapshot exactly the task's delta.  Returns
+    ``(value, fired, telemetry_block)``; the result-encode fields are
+    filled in by the envelope after the task clocks stop.
+    """
+    from repro.obs import metrics, spans
+
+    sent = ctx.get("sent_ts")
+    tel = {
+        "t0": wall0,
+        # perf_counter is CLOCK_MONOTONIC, shared with the forked parent,
+        # so dispatch-to-envelope-entry is directly computable.
+        "queue_wait_s": round(max(0.0, wall0 - sent), 6)
+                        if sent is not None else 0.0,
+        "payload_bytes": 0,
+    }
+    d0 = time.perf_counter()
+    if ctx.get("packed"):
+        tel["payload_bytes"] = len(payload)
+        payload = pickle.loads(payload)
+    tel["decode_s"] = round(time.perf_counter() - d0, 6)
+    rss0 = spans._rss_peak_kb()
+    with metrics.collecting() as reg, \
+            spans.recording(f"task:{fn_name}") as rec:
+        value, fired = _run_task(fn_name, payload, ctx)
+    tel["rss_peak_delta_kb"] = spans._rss_peak_kb() - rss0
+    tel["metrics"] = reg.snapshot()
+    tel["spans"] = rec.root.to_dict()
+    return value, fired, tel
+
+
 def _worker_envelope(job):
     """Top-level task wrapper executed inside a worker process.
 
@@ -211,15 +274,20 @@ def _worker_envelope(job):
     _reset_worker_globals()
     wall0 = time.perf_counter()
     cpu0 = time.process_time()
+    tel = None
     try:
-        value, fired = _run_task(fn_name, payload, ctx)
+        if ctx and ctx.get("telemetry"):
+            value, fired, tel = _run_task_telemetered(fn_name, payload, ctx,
+                                                      wall0)
+        else:
+            value, fired = _run_task(fn_name, payload, ctx)
         ok, out = True, value
     except BaseException as exc:  # noqa: BLE001 - the envelope is the boundary
-        ok, out = False, encode_error(exc)
+        ok, out, tel = False, encode_error(exc), None
         # A fault that fired by raising still counts as fired.
         fired = ([dict(ctx["fault"], fired=True)]
                  if ctx and ctx.get("fault") is not None else [])
-    return {
+    env = {
         "ok": ok,
         "value": out,
         "fired": fired,
@@ -227,6 +295,17 @@ def _worker_envelope(job):
         "wall_s": time.perf_counter() - wall0,
         "cpu_s": time.process_time() - cpu0,
     }
+    if tel is not None:
+        # Pickle the result explicitly (and after the task clocks stop) so
+        # the wire cost is measured instead of hidden inside the pool's
+        # own serialization of the envelope.
+        e0 = time.perf_counter()
+        env["value"] = pickle.dumps(out, pickle.HIGHEST_PROTOCOL)
+        tel["encode_s"] = round(time.perf_counter() - e0, 6)
+        tel["result_bytes"] = len(env["value"])
+        env["packed"] = True
+        env["telemetry"] = tel
+    return env
 
 
 # -- parent side -------------------------------------------------------------------
@@ -317,39 +396,74 @@ class WorkerPool:
         error after all tasks settle.  Returns ``(results, fired)`` where
         *fired* lists fault-spec dicts that fired inside workers.
         """
+        from repro.obs import spans
+        from repro.obs import worker as obs_worker
+
         payloads = list(payloads)
         if not payloads:
             return [], []
+        tel = obs_worker.CURRENT
         base_ctx = {}
         if resilience.DEADLINE is not None:
             base_ctx["deadline_s"] = max(
                 0.001, resilience.DEADLINE.seconds - resilience.DEADLINE.elapsed()
             )
+        ship_telemetry = tel is not None and self.backend == "process"
         jobs = []
+        parent_encode = []
         for i, payload in enumerate(payloads):
             ctx = dict(base_ctx)
             if ctxs is not None and ctxs[i]:
                 ctx.update(ctxs[i])
+            if ship_telemetry:
+                # Pack the payload ourselves so the encode cost and byte
+                # size are measured; the pool then pickles cheap bytes.
+                ctx["telemetry"] = True
+                ctx["packed"] = True
+                e0 = time.perf_counter()
+                payload = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+                parent_encode.append(
+                    (round(time.perf_counter() - e0, 6), len(payload)))
             jobs.append((fn_name, payload, ctx))
 
-        if self.backend == "serial":
-            envelopes = [self._run_serial(job) for job in jobs]
-        else:
-            envelopes = self._ensure_pool().map(_worker_envelope, jobs)
+        span_cm = (spans.span(f"parallel:{label or fn_name}",
+                              backend=self.backend, workers=self.workers)
+                   if tel is not None else nullcontext())
+        with span_cm:
+            map_start = time.perf_counter()
+            if ship_telemetry:
+                for _, _, ctx in jobs:
+                    ctx["sent_ts"] = map_start
+            if self.backend == "serial":
+                envelopes = [self._run_serial(job, telemetry=tel is not None)
+                             for job in jobs]
+            else:
+                envelopes = self._ensure_pool().map(_worker_envelope, jobs)
+            return self._settle(envelopes, fn_name, label=label,
+                                telemetry=tel, map_start=map_start,
+                                parent_encode=parent_encode)
 
-        return self._settle(envelopes, fn_name, label=label)
-
-    def _run_serial(self, job):
+    def _run_serial(self, job, telemetry=False):
         """Inline execution with the same envelope semantics, minus the
         telemetry-slot reset (we *are* the parent process).  The pool slot
-        alone is cleared so an inline task never re-enters a kernel."""
+        alone is cleared so an inline task never re-enters a kernel.
+
+        With *telemetry* on, the envelope grows a light telemetry block:
+        the parent's registry and span recorder are already live (nested
+        collection is rejected), so metric increments and an inline
+        ``task:*`` span land directly and the block only adds what inline
+        execution can still measure — the peak-RSS delta and zeroed wire
+        costs (nothing crosses a process boundary).
+        """
         global CURRENT
         fn_name, payload, ctx = job
+        from repro.obs import spans
         from repro.parallel import tasks
         from repro.resilience import faults
 
         wall0 = time.perf_counter()
         cpu0 = time.process_time()
+        rss0 = spans._rss_peak_kb() if telemetry else 0
         fired = []
         prev_pool = CURRENT
         # codelint: ignore[RC103] -- serial backend: parent-side save/restore
@@ -363,25 +477,45 @@ class WorkerPool:
                 fired = [dict(fault, fired=True)]
                 raise faults.make_fault(
                     faults.FaultSpec(fault["site"], fault["kind"], hit=1))
-            ok, out = True, fn(payload)
+            if telemetry:
+                with spans.span(f"task:{fn_name}"):
+                    ok, out = True, fn(payload)
+            else:
+                ok, out = True, fn(payload)
         except BaseException as exc:  # noqa: BLE001
             ok, out = False, encode_error(exc)
         finally:
             CURRENT = prev_pool  # codelint: ignore[RC103] -- restores the saved slot
-        return {
+        env = {
             "ok": ok, "value": out, "fired": fired, "pid": os.getpid(),
             "wall_s": time.perf_counter() - wall0,
             "cpu_s": time.process_time() - cpu0,
         }
+        if telemetry and ok:
+            env["telemetry"] = {
+                "t0": wall0,
+                "queue_wait_s": 0.0,
+                "decode_s": 0.0,
+                "encode_s": 0.0,
+                "payload_bytes": 0,
+                "result_bytes": 0,
+                "rss_peak_delta_kb": spans._rss_peak_kb() - rss0,
+                "metrics": None,
+                "spans": None,
+            }
+        return env
 
-    def _settle(self, envelopes, fn_name, label=None):
+    def _settle(self, envelopes, fn_name, label=None, telemetry=None,
+                map_start=None, parent_encode=None):
         from repro.obs import metrics, spans
 
         results = []
         first_err = None
         fired = []
         by_pid = {}
-        for env in envelopes:
+        task_records = []
+        m = metrics.CURRENT
+        for i, env in enumerate(envelopes):
             fired.extend(env.get("fired") or [])
             stats = self.worker_stats.setdefault(
                 env["pid"], {"tasks": 0, "wall_s": 0.0, "cpu_s": 0.0})
@@ -391,11 +525,20 @@ class WorkerPool:
             agg = by_pid.setdefault(env["pid"], {"tasks": 0, "wall_s": 0.0})
             agg["tasks"] += 1
             agg["wall_s"] = round(agg["wall_s"] + env["wall_s"], 6)
+            parent_decode = 0.0
             if env["ok"]:
-                results.append(env["value"])
+                value = env["value"]
+                if env.get("packed"):
+                    d0 = time.perf_counter()
+                    value = pickle.loads(value)
+                    parent_decode = round(time.perf_counter() - d0, 6)
+                results.append(value)
             elif first_err is None:
                 first_err = decode_error(env["value"], task=fn_name)
-        m = metrics.CURRENT
+            if telemetry is not None:
+                task_records.append(self._merge_task(
+                    env, i, fn_name, label, telemetry, m,
+                    parent_encode, parent_decode))
         if m is not None:
             m.inc("repro_parallel_maps_total")
             m.inc("repro_parallel_tasks_total", len(envelopes))
@@ -407,9 +550,66 @@ class WorkerPool:
                     "by_pid": by_pid,
                 }
             })
+        if telemetry is not None:
+            map_rec = telemetry.record_map(
+                label=label or fn_name, task=fn_name, backend=self.backend,
+                workers=self.workers,
+                start_s=map_start - telemetry.t0,
+                wall_s=time.perf_counter() - map_start,
+                task_records=task_records)
+            if m is not None:
+                m.set_gauge("repro_parallel_worker_utilization",
+                            map_rec["utilization"])
+                m.set_gauge("repro_parallel_chunk_imbalance_ratio",
+                            map_rec["imbalance"])
         if first_err is not None:
             raise first_err
         return results, fired
+
+    def _merge_task(self, env, i, fn_name, label, telemetry, m,
+                    parent_encode, parent_decode):
+        """Fold one envelope's telemetry block into the parent's live
+        telemetry (metrics merge, span graft, pool histograms) and return
+        the task record for the collector."""
+        from repro.obs import spans
+        from repro.obs.metrics import TIME_BUCKETS
+
+        rec = {
+            "pid": env["pid"],
+            "task": fn_name,
+            "label": label or fn_name,
+            "ok": env["ok"],
+            "wall_s": round(env["wall_s"], 6),
+            "cpu_s": round(env["cpu_s"], 6),
+        }
+        tb = env.get("telemetry")
+        if tb is not None:
+            enc_s, payload_bytes = (parent_encode[i] if parent_encode
+                                    else (0.0, tb["payload_bytes"]))
+            rec["start_s"] = round(tb["t0"] - telemetry.t0, 6)
+            rec["queue_wait_s"] = tb["queue_wait_s"]
+            rec["decode_s"] = round(tb["decode_s"] + parent_decode, 6)
+            rec["encode_s"] = round(tb.get("encode_s", 0.0) + enc_s, 6)
+            rec["payload_bytes"] = payload_bytes
+            rec["result_bytes"] = tb.get("result_bytes", 0)
+            rec["rss_peak_delta_kb"] = tb["rss_peak_delta_kb"]
+            if tb.get("metrics") is not None:
+                if m is not None:
+                    m.merge(tb["metrics"])
+                telemetry.merge_metrics(tb["metrics"])
+            rec_now = spans.CURRENT
+            if rec_now is not None:
+                if tb.get("spans") is not None:
+                    spans.graft(tb["spans"],
+                                offset_s=tb["t0"] - rec_now.t0,
+                                worker_pid=env["pid"])
+        if m is not None:
+            m.observe("repro_parallel_task_wall_seconds", env["wall_s"],
+                      buckets=TIME_BUCKETS)
+            if tb is not None:
+                m.observe("repro_parallel_queue_wait_seconds",
+                          tb["queue_wait_s"], buckets=TIME_BUCKETS)
+        return rec
 
 
 # -- installation ------------------------------------------------------------------

@@ -6,8 +6,10 @@ durations taken from the cost model's cycle weights and per-region counter
 annotations — the closest equivalent to opening a VTune recording of the
 stage.  ``stages_to_chrome_trace`` stitches the per-stage documents into
 one (each stage on its own pid track), ``spans_to_chrome_trace`` renders
-a *measured* :mod:`repro.obs.spans` tree on real wall-clock time, and
-``counters_to_csv`` dumps the primitive counters for spreadsheet
+a *measured* :mod:`repro.obs.spans` tree on real wall-clock time (worker
+subtrees on their own tid lanes), ``worker_tasks_to_chrome_trace``
+renders a ledger ``workers`` block with one pid lane per worker process,
+and ``counters_to_csv`` dumps the primitive counters for spreadsheet
 workflows.
 
 The deep profiler's collapsed stacks (:mod:`repro.obs.prof`) export two
@@ -35,6 +37,7 @@ __all__ = [
     "stages_to_chrome_trace",
     "to_chrome_trace",
     "to_speedscope",
+    "worker_tasks_to_chrome_trace",
 ]
 
 #: Canonical stage order (mirrors ``repro.workflow.STAGES``, which this
@@ -49,6 +52,60 @@ def _ordered_stages(mapping):
     return known + extras
 
 
+# -- shared lane plumbing -----------------------------------------------------------
+#
+# Every chrome-trace emitter in this module routes through these two
+# helpers so pid/tid assignment has exactly one definition.  Perfetto
+# collapses events that share a (pid, tid) pair onto one track, so the
+# old hardcoded ``tid=1`` folded logically-concurrent lanes (worker
+# tasks, per-stage sub-timelines) into a single visual thread.
+
+
+def _event(name, ts_us, dur_us, pid, tid, args=None):
+    """One complete ("X") Trace Event with the shared field layout."""
+    ev = {
+        "name": name,
+        "ph": "X",
+        "ts": round(ts_us, 3),
+        "dur": round(max(dur_us, 0.001), 3),
+        "pid": pid,
+        "tid": tid,
+    }
+    if args is not None:
+        ev["args"] = args
+    return ev
+
+
+def _lane_ids(keys, start=1, ordered=False):
+    """Deterministic lane assignment: *keys* -> consecutive integer lane
+    ids beginning at *start*.  Keys are sorted unless *ordered* says the
+    caller already fixed a canonical order (e.g. protocol stages).  Either
+    way the mapping is stable across runs and machines."""
+    if not ordered:
+        keys = sorted(keys)
+    return {key: start + i for i, key in enumerate(keys)}
+
+
+def _lane_names(kind, names_by_id):
+    """Metadata ("M") events naming pid or tid lanes in the trace UI.
+
+    *kind* is ``"process_name"`` or ``"thread_name"``; *names_by_id* maps
+    the lane id to its display name.  For thread lanes the caller supplies
+    ``(pid, tid)`` tuples as ids.
+    """
+    events = []
+    for lane, label in sorted(names_by_id.items()):
+        pid, tid = lane if isinstance(lane, tuple) else (lane, 0)
+        events.append({
+            "name": kind,
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": label},
+        })
+    return events
+
+
 def _region_cycles(rec, memo):
     """Total cycles of a region including its children (memoized by id)."""
     key = id(rec)
@@ -58,34 +115,28 @@ def _region_cycles(rec, memo):
     return memo[key]
 
 
-def to_chrome_trace(tracer, freq_ghz=3.0, pid=1):
+def to_chrome_trace(tracer, freq_ghz=3.0, pid=1, tid=1):
     """Render the region tree as Trace Event Format JSON (a string).
 
     Durations are modeled cycles converted at *freq_ghz*; sibling regions
     are laid out sequentially, children nested within parents, matching
-    how the work actually interleaves on one thread.
+    how the work actually interleaves on one thread.  *pid*/*tid* place
+    the whole document on one lane (callers that stitch documents, e.g.
+    :func:`stages_to_chrome_trace`, assign lanes via the shared helper).
     """
     events = []
     memo = {}
 
     def emit(rec, start_us):
         dur_cycles = _region_cycles(rec, memo)
-        dur_us = max(dur_cycles / (freq_ghz * 1e3), 0.001)
+        dur_us = dur_cycles / (freq_ghz * 1e3)
         summary = aggregate(rec.counts)
-        events.append({
-            "name": rec.name,
-            "ph": "X",
-            "ts": round(start_us, 3),
-            "dur": round(dur_us, 3),
-            "pid": pid,
-            "tid": 1,
-            "args": {
-                "parallel": rec.parallel,
-                "items": rec.items,
-                "instructions": round(summary.instructions),
-                "cycles": round(summary.cycles),
-            },
-        })
+        events.append(_event(rec.name, start_us, dur_us, pid, tid, {
+            "parallel": rec.parallel,
+            "items": rec.items,
+            "instructions": round(summary.instructions),
+            "cycles": round(summary.cycles),
+        }))
         # Children laid out after this region's own (pre-child) work.
         own_us = aggregate(rec.counts).cycles / (freq_ghz * 1e3)
         child_start = start_us + own_us
@@ -112,8 +163,8 @@ def stages_to_chrome_trace(stage_tracers, freq_ghz=3.0):
     """
     events = []
     labels = {}
-    ordered = _ordered_stages(stage_tracers)
-    for pid, stage in enumerate(ordered, start=1):
+    lanes = _lane_ids(_ordered_stages(stage_tracers), ordered=True)
+    for stage, pid in lanes.items():
         tracer = stage_tracers[stage]
         doc = json.loads(to_chrome_trace(tracer, freq_ghz=freq_ghz, pid=pid))
         for ev in doc["traceEvents"]:
@@ -121,6 +172,8 @@ def stages_to_chrome_trace(stage_tracers, freq_ghz=3.0):
                 ev["name"] = stage
             events.append(ev)
         labels[str(pid)] = stage
+    events.extend(_lane_names("process_name",
+                              {pid: stage for stage, pid in lanes.items()}))
     return json.dumps({
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -131,32 +184,100 @@ def stages_to_chrome_trace(stage_tracers, freq_ghz=3.0):
 def spans_to_chrome_trace(root, pid=1):
     """Render a measured :class:`~repro.obs.spans.Span` tree as Trace Event
     JSON (a string) — real wall-clock ``ts``/``dur``, unlike the modeled
-    cycle timeline of :func:`to_chrome_trace`."""
+    cycle timeline of :func:`to_chrome_trace`.
+
+    Subtrees grafted from workers (``meta["worker_pid"]``, see
+    :func:`repro.obs.spans.graft`) land on their own ``tid`` lane per
+    worker pid — tid 1 is the parent process — so Perfetto shows worker
+    task bars side by side instead of collapsed onto the main thread.
+    """
     events = []
+    worker_pids = {sp.meta["worker_pid"] for sp in root.walk()
+                   if "worker_pid" in sp.meta}
+    lanes = _lane_ids(worker_pids, start=2)
 
-    def emit(sp):
-        events.append({
-            "name": sp.name,
-            "ph": "X",
-            "ts": round(sp.start_s * 1e6, 3),
-            "dur": round(max(sp.wall_s * 1e6, 0.001), 3),
-            "pid": pid,
-            "tid": 1,
-            "args": {
-                "cpu_s": round(sp.cpu_s, 6),
-                "rss_peak_delta_kb": sp.rss_peak_delta_kb,
-                "gc_collections": sp.gc_collections,
-                **({"meta": sp.meta} if sp.meta else {}),
-            },
-        })
+    def emit(sp, tid):
+        wpid = sp.meta.get("worker_pid")
+        if wpid is not None:
+            tid = lanes[wpid]
+        events.append(_event(sp.name, sp.start_s * 1e6, sp.wall_s * 1e6,
+                             pid, tid, {
+            "cpu_s": round(sp.cpu_s, 6),
+            "rss_peak_delta_kb": sp.rss_peak_delta_kb,
+            "gc_collections": sp.gc_collections,
+            **({"meta": sp.meta} if sp.meta else {}),
+        }))
         for child in sp.children:
-            emit(child)
+            emit(child, tid)
 
-    emit(root)
+    emit(root, 1)
+    names = {(pid, 1): "main"}
+    for wpid, tid in lanes.items():
+        names[(pid, tid)] = f"worker {wpid}"
+    events.extend(_lane_names("thread_name", names))
     return json.dumps({
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {"source": "repro.obs.spans", "root": root.name},
+    }, indent=1)
+
+
+def worker_tasks_to_chrome_trace(workers_block):
+    """Render a ledger ``workers`` block
+    (:meth:`~repro.obs.worker.WorkerTelemetry.to_workers_block`) as Trace
+    Event JSON (a string) with **one pid lane per worker**.
+
+    Lane 1 is the parent: one bar per ``WorkerPool.map`` window
+    (dispatch to settle).  Each worker OS pid gets its own lane with one
+    bar per task, so stragglers, queue gaps and serial holes between maps
+    are directly visible in Perfetto.  All timestamps share the
+    collector's timeline (``start_s`` offsets in seconds).
+    """
+    events = []
+    lanes = _lane_ids({t["pid"] for t in workers_block.get("tasks", ())},
+                      start=2)
+    for m in workers_block.get("maps", ()):
+        events.append(_event(
+            f"map:{m['label']}", m["start_s"] * 1e6, m["wall_s"] * 1e6,
+            1, 1, {
+                "stage": m.get("stage"),
+                "backend": m.get("backend"),
+                "workers": m.get("workers"),
+                "n_tasks": m.get("n_tasks"),
+                "busy_s": m.get("busy_s"),
+                "utilization": m.get("utilization"),
+                "imbalance": m.get("imbalance"),
+            }))
+    for t in workers_block.get("tasks", ()):
+        if "start_s" not in t:
+            continue
+        events.append(_event(
+            t.get("label") or t["task"], t["start_s"] * 1e6,
+            t["wall_s"] * 1e6, lanes[t["pid"]], 1, {
+                "task": t["task"],
+                "stage": t.get("stage"),
+                "cpu_s": t.get("cpu_s"),
+                "queue_wait_s": t.get("queue_wait_s"),
+                "decode_s": t.get("decode_s"),
+                "encode_s": t.get("encode_s"),
+                "payload_bytes": t.get("payload_bytes"),
+                "result_bytes": t.get("result_bytes"),
+                "rss_peak_delta_kb": t.get("rss_peak_delta_kb"),
+            }))
+    names = {1: "parent (map windows)"}
+    for wpid, lane in lanes.items():
+        names[lane] = f"worker pid {wpid}"
+    events.extend(_lane_names("process_name", names))
+    return json.dumps({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs.worker",
+            "backend": workers_block.get("backend"),
+            "workers": workers_block.get("workers"),
+            "utilization": workers_block.get("utilization"),
+            "imbalance": workers_block.get("imbalance"),
+        },
     }, indent=1)
 
 

@@ -21,6 +21,7 @@ from repro.circuit.compiler import compile_circuit
 from repro.groth16 import generate_witness, prove, public_inputs, setup, verify
 from repro import parallel
 from repro.obs import ledger, metrics, prof, spans
+from repro.obs import worker as obs_worker
 from repro.obs.spans import Span
 from repro.perf import trace
 from repro.perf.trace import Tracer
@@ -220,6 +221,9 @@ class Workflow:
                     spans.attach_counters(tracer.total_counts())
             return artifact
 
+        tel = obs_worker.CURRENT
+        if tel is not None:
+            tel.begin_stage(stage)
         policy = resilience.CURRENT
         with parallel.using(self.pool):
             if policy is None:
@@ -249,6 +253,10 @@ class Workflow:
         if ledger.CURRENT is not None:
             registry = metrics.CURRENT
             profiler = prof.CURRENT
+            tel = obs_worker.CURRENT
+            workers_block = None
+            if tel is not None:
+                workers_block = tel.to_workers_block() if tel.tasks else None
             ledger.CURRENT.append(ledger.make_record(
                 kind="workflow",
                 curve=self.curve.name,
@@ -259,5 +267,6 @@ class Workflow:
                 metrics=registry.snapshot() if registry is not None else None,
                 profile=(profiler.to_profile_block()
                          if profiler is not None else None),
+                workers=workers_block,
             ))
         return self.results

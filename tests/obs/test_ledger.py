@@ -42,22 +42,23 @@ class TestFingerprint:
 
 
 class TestMakeRecord:
-    def test_schema_v2_shape(self):
+    def test_schema_v3_shape(self):
         rec = make_record(
             kind="profile", curve="bn128", size=64, workload="exponentiate",
             seed=0, stages=[{"stage": "compile", "elapsed_s": 0.01, "span": None}],
             metrics={"counters": {}}, label="unit",
         )
-        assert rec["schema"] == 2
+        assert rec["schema"] == 3
         assert rec["kind"] == "profile"
         assert rec["machine_id"] == fingerprint.fingerprint_id(rec["machine"])
         assert rec["ts"] > 0
         assert rec["stages"][0]["stage"] == "compile"
         assert rec["label"] == "unit"
         assert rec["profile"] is None  # unprofiled runs carry no block
+        assert rec["workers"] is None  # serial runs carry no workers block
         json.dumps(rec)  # must be JSON-serializable as-is
 
-    def test_v2_carries_profile_block(self):
+    def test_record_carries_profile_block(self):
         block = {"profiler": {"backend": "sys.setprofile"}, "stages": {}}
         rec = make_record(
             kind="deep-profile", curve="bn128", size=8,
@@ -66,22 +67,37 @@ class TestMakeRecord:
         assert rec["profile"] == block
         json.dumps(rec)
 
-    def test_v1_record_still_loads(self, tmp_path):
-        """A pre-upgrade (schema 1) line — no profile field, no lifted
-        per-stage cpu/rss — must keep loading alongside v2 records."""
+    def test_record_carries_workers_block(self):
+        block = {"backend": "process", "workers": 2, "per_worker": {},
+                 "maps": [], "tasks": [], "totals": {}}
+        rec = make_record(
+            kind="profile", curve="bn128", size=64,
+            workload="exponentiate", seed=0, stages=[], workers=block,
+        )
+        assert rec["workers"] == block
+        json.dumps(rec)
+
+    def test_v1_and_v2_records_still_load(self, tmp_path):
+        """Pre-upgrade lines — v1 (no profile field, no lifted per-stage
+        cpu/rss) and v2 (no workers block) — must keep loading alongside
+        v3 records."""
         v1 = {"schema": 1, "kind": "profile", "ts": 1.0, "curve": "bn128",
               "size": 64, "workload": "exponentiate", "seed": 0,
               "stages": [{"stage": "compile", "elapsed_s": 0.01,
                           "span": None}], "metrics": None}
+        v2 = dict(v1, schema=2, ts=2.0, profile=None)
         path = tmp_path / "mixed.jsonl"
         led = Ledger(str(path))
         led.append(v1)
+        led.append(v2)
         led.append(make_record(kind="profile", curve="bn128", size=64,
                                workload="exponentiate", seed=0, stages=[]))
         records = read_ledger(str(path))
-        assert [r["schema"] for r in records] == [1, 2]
+        assert [r["schema"] for r in records] == [1, 2, 3]
         assert "profile" not in records[0]
-        assert records[1]["profile"] is None
+        assert "workers" not in records[1]
+        assert records[2]["profile"] is None
+        assert records[2]["workers"] is None
 
 
 class TestLedgerFile:

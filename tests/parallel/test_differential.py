@@ -243,3 +243,32 @@ class TestWorkflowPoolWiring:
                 wf.run_all()
             assert wf.accepted is True
             assert sum(s["tasks"] for s in pool.worker_stats.values()) > 0
+
+
+class TestTelemetryDifferential:
+    """Worker telemetry must observe, never perturb: the proof bytes of a
+    pooled run are bit-identical with the collector on and off (and both
+    match the serial run, which the matrix above already pins)."""
+
+    def _prove(self, telemetry):
+        from contextlib import nullcontext
+
+        from repro.groth16.serialize import proof_to_bytes
+        from repro.harness.circuits import build_workload
+        from repro.obs import worker as obs_worker
+        from repro.workflow import Workflow
+
+        builder, inputs = build_workload("exponentiate", BN128, 128)
+        collect = (obs_worker.collecting_tasks() if telemetry
+                   else nullcontext())
+        with collect as tel, \
+                Workflow(BN128, builder, inputs, seed=0, workers=2) as wf:
+            wf.run_all()
+            assert wf.accepted is True
+            return proof_to_bytes(wf.proof), tel
+
+    def test_proof_bytes_identical_with_telemetry_on_and_off(self):
+        plain, _ = self._prove(telemetry=False)
+        telemetered, tel = self._prove(telemetry=True)
+        assert tel.tasks, "telemetered run recorded no worker tasks"
+        assert telemetered == plain

@@ -65,10 +65,17 @@ class TestWorkersFromEnv:
         monkeypatch.setenv(pool_mod.WORKERS_ENV, "4")
         assert workers_from_env() == 4
 
-    @pytest.mark.parametrize("raw", ["", "zero", "0", "-2"])
-    def test_bad_values_fall_back(self, raw, monkeypatch):
-        monkeypatch.setenv(pool_mod.WORKERS_ENV, raw)
+    def test_empty_value_falls_back(self, monkeypatch):
+        monkeypatch.setenv(pool_mod.WORKERS_ENV, "")
         assert workers_from_env(default=1) == 1
+
+    @pytest.mark.parametrize("raw", ["zero", "0", "-2", "2.5"])
+    def test_bad_values_raise(self, raw, monkeypatch):
+        # A set-but-bad value fails loudly (the CLI maps ValueError to the
+        # typed one-line error contract) instead of silently running serial.
+        monkeypatch.setenv(pool_mod.WORKERS_ENV, raw)
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            workers_from_env(default=1)
 
 
 class TestConstruction:

@@ -113,15 +113,49 @@ class TestSpansChromeTrace:
             with span("proving"):
                 sum(range(10_000))
         doc = json.loads(spans_to_chrome_trace(rec.root))
-        events = {e["name"]: e for e in doc["traceEvents"]}
+        bars = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        events = {e["name"]: e for e in bars}
         assert set(events) == {"run", "compile", "proving"}
-        for e in doc["traceEvents"]:
-            assert e["ph"] == "X" and e["dur"] > 0
+        for e in bars:
+            assert e["dur"] > 0 and e["tid"] == 1
             assert "cpu_s" in e["args"]
         # Real timeline: proving starts after compile ends.
         assert (events["proving"]["ts"]
                 >= events["compile"]["ts"] + events["compile"]["dur"] - 1.0)
         assert doc["otherData"]["root"] == "run"
+        # The main lane is named via thread_name metadata.
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(e["tid"] == 1 and e["args"]["name"] == "main"
+                   for e in metas)
+
+    def test_grafted_worker_subtrees_get_tid_lanes(self):
+        from repro.obs.spans import graft, recording, span
+
+        subtree = {"name": "task:msm_chunk", "start_s": 0.1, "wall_s": 0.05,
+                   "cpu_s": 0.05, "rss_peak_delta_kb": 0,
+                   "gc_collections": 0,
+                   "children": [{"name": "inner", "start_s": 0.12,
+                                 "wall_s": 0.01, "cpu_s": 0.01,
+                                 "rss_peak_delta_kb": 0,
+                                 "gc_collections": 0}]}
+        with recording("run") as rec:
+            with span("parallel:msm"):
+                graft(subtree, worker_pid=4001)
+                graft(dict(subtree, start_s=0.2), worker_pid=4002)
+        doc = json.loads(spans_to_chrome_trace(rec.root))
+        bars = {e["name"]: [x for x in doc["traceEvents"]
+                            if x["ph"] == "X" and x["name"] == e["name"]]
+                for e in doc["traceEvents"] if e["ph"] == "X"}
+        # Parent spans stay on tid 1; each worker pid gets its own lane,
+        # and children inherit the worker's lane.
+        assert {b["tid"] for b in bars["parallel:msm"]} == {1}
+        task_tids = {b["tid"] for b in bars["task:msm_chunk"]}
+        assert len(task_tids) == 2 and 1 not in task_tids
+        assert {b["tid"] for b in bars["inner"]} == task_tids
+        names = {e["tid"]: e["args"]["name"]
+                 for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert names[1] == "main"
+        assert {names[t] for t in task_tids} == {"worker 4001", "worker 4002"}
 
 
 class TestCsv:

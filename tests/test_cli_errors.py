@@ -16,8 +16,9 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO, "src")
 
 
-def run_cli(*argv, cwd=None):
+def run_cli(*argv, cwd=None, env_extra=None):
     env = dict(os.environ, PYTHONPATH=SRC, REPRO_CACHE="0")
+    env.update(env_extra or {})
     return subprocess.run(
         [sys.executable, "-m", "repro", *argv],
         capture_output=True, text=True, env=env, cwd=cwd or REPO,
@@ -101,6 +102,32 @@ class TestArgumentErrors:
         result = run_cli("prove", "--curve", "ed25519")
         assert result.returncode == 2
         assert "Traceback" not in result.stderr
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "2.5", "two"])
+    def test_workers_flag_rejected_at_parse_time(self, bad):
+        result = run_cli("prove", "--exponent", "4", "--workers", bad)
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+        assert "positive integer" in result.stderr
+
+    @pytest.mark.parametrize("bad", ["0,2", "1,nope", ""])
+    def test_worker_list_flag_rejected_at_parse_time(self, bad):
+        result = run_cli("run", "fig6", "--workers", bad)
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+        assert "bad worker list" in result.stderr
+
+    @pytest.mark.parametrize("bad", ["zero", "0", "-2", "2.5"])
+    def test_bad_workers_env_is_typed_value_error(self, bad):
+        result = run_cli("prove", "--exponent", "4",
+                         env_extra={"REPRO_WORKERS": bad})
+        assert_typed_failure(result, "value")
+        assert "REPRO_WORKERS" in result.stderr
+
+    def test_empty_workers_env_still_runs_serial(self, tmp_path):
+        result = run_cli("prove", "--exponent", "4", "--out", str(tmp_path),
+                         env_extra={"REPRO_WORKERS": ""})
+        assert result.returncode == 0, (result.stdout, result.stderr)
 
     def test_perf_check_missing_ledger(self, tmp_path):
         result = run_cli("perf-check", str(tmp_path / "a.jsonl"),
