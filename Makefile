@@ -2,7 +2,7 @@
 
 .PHONY: install test lint codelint bench artifacts slow clean profile \
 	perf-check chaos deep-profile drift-check refresh-baseline \
-	parallel-test parallel-check parallel-report measured
+	parallel-test parallel-check parallel-report measured serve loadtest
 
 # Seeds for the chaos smoke (override: make chaos CHAOS_SEEDS="0 7 42").
 CHAOS_SEEDS ?= 0 1 2 3
@@ -101,6 +101,29 @@ MEASURED_WORKERS ?= 1,2,4
 measured:
 	PYTHONPATH=src python -m repro run fig6 --measured \
 		--workers $(MEASURED_WORKERS)
+
+# Foreground proving service with synthetic traffic; SIGTERM (or ^C)
+# drains: admission closes, in-flight jobs finish, exit 0 (docs/SERVING.md).
+SERVE_RPS ?= 8
+SERVE_DURATION ?= 30
+serve:
+	PYTHONPATH=src python -m repro serve --size 64 --rps $(SERVE_RPS) \
+		--duration $(SERVE_DURATION)
+
+# Open-loop load smoke + chaos-under-load gate: p50/p95/p99 into the
+# ledger's schema-v4 service block; every request must resolve typed
+# even with seeded faults firing inside the live service.
+LOAD_RPS ?= 16
+LOAD_DURATION ?= 3
+loadtest:
+	PYTHONPATH=src python -m repro loadtest --rps $(LOAD_RPS) \
+		--duration $(LOAD_DURATION) --size 32
+	@for seed in 0 1 2; do \
+		PYTHONPATH=src python -m repro chaos --under-load --seed $$seed \
+			--faults 4 --size 32 --rps $(LOAD_RPS) --duration 1.5 \
+			|| exit 1; \
+	done
+	PYTHONPATH=src pytest -x -q tests/serve
 
 chaos:
 	@for seed in $(CHAOS_SEEDS); do \

@@ -61,10 +61,12 @@ class CodelintConfig:
                           "repro.parallel.kernels")
 
     #: Modules sanctioned to read the monotonic measurement clocks
-    #: (perf_counter / process_time / monotonic) — RC203.
+    #: (perf_counter / process_time / monotonic) — RC203.  The serving
+    #: layer is a measurement layer: queue wait, deadline budgets and
+    #: latency percentiles are its product, like the pool's task clocks.
     clock_modules: tuple = ("repro.obs.*", "repro.perf.*", "repro.harness.*",
                             "repro.workflow", "repro.parallel.pool",
-                            "repro.resilience.*")
+                            "repro.resilience.*", "repro.serve.*")
 
     #: Modules sanctioned to read the wall clock (time.time etc.) —
     #: RC202.  The run ledger timestamps records; nothing else may.

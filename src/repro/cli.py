@@ -16,6 +16,9 @@
     python -m repro perf-check BASE.jsonl NEW.jsonl --threshold 10 [--metric cpu]
     python -m repro sweep [--resume] [--sizes ...] [--curves ...]
     python -m repro chaos --seed 0 --faults 4
+    python -m repro chaos --under-load --seed 0 --rps 8 --duration 2
+    python -m repro serve [--workers 4] [--rps 8 --duration 10]
+    python -m repro loadtest --rps 8 --duration 10 --mix prove:verify
 
 ``run`` drives the same experiment reducers the benchmark suite asserts
 against; ``prove`` runs the five-stage protocol once and reports timings
@@ -36,7 +39,15 @@ small sweep and gates the cost model against it via :mod:`repro.obs.drift`
 ledgers per (stage, curve, size) and exits non-zero on regression — the CI
 perf gate; ``sweep`` runs the profiling sweep with per-cell checkpoints so
 a killed run resumes (docs/ROBUSTNESS.md); ``chaos`` replays a seeded
-fault schedule through the pipeline and reports recovery outcomes.
+fault schedule through the pipeline and reports recovery outcomes
+(``--under-load`` replays it against the live proving service instead);
+``serve`` runs the fault-tolerant async proving service until SIGTERM
+(graceful drain) or for a bounded self-traffic run; ``loadtest`` drives
+the service open-loop and appends a schema-v4 ``service`` block to the
+run ledger (docs/SERVING.md).  ``prove``/``verify``/``sweep`` accept
+``--timeout SECONDS``: a cooperative wall-clock budget enforced through
+the same deadline machinery the service uses — an expired run exits 2
+with ``error[timeout]: ...``, never a traceback.
 
 The parallel backend (docs/PARALLELISM.md) surfaces in five places:
 ``run --measured`` drives fig6/fig7/table6 from *measured* wall times
@@ -116,6 +127,28 @@ def _positive_int(text):
     return n
 
 
+def _positive_float(text):
+    try:
+        v = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}") from None
+    if not v > 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}")
+    return v
+
+
+def _traffic_mix(text):
+    """Validate a ``--mix`` spec at parse time; returns ``{kind: weight}``."""
+    from repro.serve.loadgen import parse_mix
+
+    try:
+        return parse_mix(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _parse_workers(text):
     """Comma-separated worker counts, e.g. ``1,2,4`` (for sweeps)."""
     try:
@@ -171,6 +204,10 @@ def build_parser():
                        help="run under N worker processes "
                             "(default: $REPRO_WORKERS, else serial); the "
                             "proof bytes are identical either way")
+    prove.add_argument("--timeout", type=_positive_float, default=None,
+                       metavar="SECONDS",
+                       help="cooperative wall-clock budget for the whole "
+                            "run; on expiry exit 2 with error[timeout]")
 
     verify_p = sub.add_parser(
         "verify",
@@ -179,6 +216,10 @@ def build_parser():
     )
     verify_p.add_argument("dir", help="directory with proof.bin / vk.bin / "
                                       "publics.json")
+    verify_p.add_argument("--timeout", type=_positive_float, default=None,
+                          metavar="SECONDS",
+                          help="cooperative wall-clock budget; on expiry "
+                               "exit 2 with error[timeout]")
 
     lint = sub.add_parser(
         "lint",
@@ -386,6 +427,11 @@ def build_parser():
     sweep.add_argument("--resume", action="store_true",
                        help="load previously checkpointed cells instead of "
                             "recomputing them")
+    sweep.add_argument("--timeout", type=_positive_float, default=None,
+                       metavar="SECONDS",
+                       help="cooperative wall-clock budget for the whole "
+                            "sweep; on expiry exit 2 with error[timeout] "
+                            "(finished cells stay checkpointed for --resume)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -406,6 +452,106 @@ def build_parser():
                             "faults then fire inside workers and must "
                             "still surface typed")
     chaos.add_argument("--json", action="store_true", dest="as_json")
+    chaos.add_argument("--under-load", action="store_true",
+                       help="inject the fault schedule into the live "
+                            "proving service while open-loop traffic "
+                            "flows; every request must resolve typed "
+                            "(docs/SERVING.md)")
+    chaos.add_argument("--rps", type=_positive_float, default=8.0,
+                       help="--under-load: request rate (default 8)")
+    chaos.add_argument("--duration", type=_positive_float, default=2.0,
+                       metavar="SECONDS",
+                       help="--under-load: traffic duration (default 2)")
+    chaos.add_argument("--mix", type=_traffic_mix, default="prove:verify",
+                       help="--under-load: traffic mix, e.g. prove:verify "
+                            "or prove=3,verify=1 (default prove:verify)")
+    chaos.add_argument("--max-queue", type=_positive_int, default=16,
+                       help="--under-load: admission queue depth (default 16)")
+    chaos.add_argument("--max-inflight", type=_positive_int, default=64,
+                       help="--under-load: in-flight cap (default 64)")
+    chaos.add_argument("--deadline", type=_positive_float, default=None,
+                       metavar="SECONDS",
+                       help="--under-load: per-request deadline")
+    chaos.add_argument("--bad-verify-pct", type=float, default=0.0,
+                       metavar="PCT",
+                       help="--under-load: share of verify requests "
+                            "poisoned with a wrong public input (0-100)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant async proving service; SIGTERM "
+             "drains in-flight jobs and exits 0 (docs/SERVING.md)",
+    )
+    serve.add_argument("--curve", type=_curve_name, default="bn128")
+    serve.add_argument("--size", type=_positive_int, default=64,
+                       help="constraint count of the served circuit")
+    serve.add_argument("--workload", default="exponentiate",
+                       help="workload family (repro.harness.circuits.WORKLOADS)")
+    serve.add_argument("--workers", type=_positive_int, default=None,
+                       help="worker processes behind the compute core "
+                            "(default: serial)")
+    serve.add_argument("--max-queue", type=_positive_int, default=16,
+                       help="admission queue depth (default 16)")
+    serve.add_argument("--max-inflight", type=_positive_int, default=64,
+                       help="in-flight cap (default 64)")
+    serve.add_argument("--deadline", type=_positive_float, default=None,
+                       metavar="SECONDS",
+                       help="default per-request deadline")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--rps", type=_positive_float, default=None,
+                       help="generate open-loop self-traffic at this rate "
+                            "(without it the service idles until SIGTERM)")
+    serve.add_argument("--duration", type=_positive_float, default=5.0,
+                       metavar="SECONDS",
+                       help="self-traffic duration with --rps (default 5)")
+    serve.add_argument("--mix", type=_traffic_mix, default="prove:verify",
+                       help="self-traffic mix (default prove:verify)")
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="open-loop load generator against the proving service; "
+             "appends a schema-v4 'service' ledger block "
+             "(docs/SERVING.md)",
+    )
+    loadtest.add_argument("--rps", type=_positive_float, default=8.0,
+                          help="target request rate (default 8)")
+    loadtest.add_argument("--duration", type=_positive_float, default=5.0,
+                          metavar="SECONDS",
+                          help="run duration (default 5)")
+    loadtest.add_argument("--mix", type=_traffic_mix, default="prove:verify",
+                          help="traffic mix, e.g. prove:verify or "
+                               "prove=3,verify=1 (default prove:verify)")
+    loadtest.add_argument("--curve", type=_curve_name, default="bn128")
+    loadtest.add_argument("--size", type=_positive_int, default=32,
+                          help="constraint count of the served circuit "
+                               "(default 32)")
+    loadtest.add_argument("--workload", default="exponentiate",
+                          help="workload family "
+                               "(repro.harness.circuits.WORKLOADS)")
+    loadtest.add_argument("--workers", type=_positive_int, default=None,
+                          help="worker processes behind the compute core")
+    loadtest.add_argument("--max-queue", type=_positive_int, default=16,
+                          help="admission queue depth (default 16)")
+    loadtest.add_argument("--max-inflight", type=_positive_int, default=64,
+                          help="in-flight cap (default 64)")
+    loadtest.add_argument("--deadline", type=_positive_float, default=None,
+                          metavar="SECONDS",
+                          help="per-request deadline")
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--bad-verify-pct", type=float, default=0.0,
+                          metavar="PCT",
+                          help="share of verify requests poisoned with a "
+                               "wrong public input (0-100)")
+    loadtest.add_argument("--json", action="store_true", dest="as_json",
+                          help="print the full ledger record instead of "
+                               "the latency summary")
+    loadtest.add_argument("--ledger", default=None, metavar="PATH",
+                          help="ledger file to append to "
+                               "(default: results/runs/loadtest.jsonl)")
+    loadtest.add_argument("--no-ledger", action="store_true",
+                          help="do not append a ledger record")
+    loadtest.add_argument("--label", default=None,
+                          help="free-form label stored in the record")
 
     pcheck = sub.add_parser(
         "parallel-check",
@@ -456,7 +602,11 @@ def cmd_list(_args, out=print):
     out("      'repro report --compare-model' (model-vs-measured drift "
         "gate),")
     out("      'repro run fig6 --measured --workers 1,2,4' (real worker "
-        "sweep), 'repro parallel-check' (speedup gate)")
+        "sweep), 'repro parallel-check' (speedup gate),")
+    out("      'repro serve' (fault-tolerant async proving service), "
+        "'repro loadtest' (open-loop latency/shedding report),")
+    out("      'repro chaos --under-load' (seeded faults against live "
+        "service traffic)")
     return 0
 
 
@@ -550,16 +700,27 @@ def _run_measured(args, out):
 def cmd_prove(args, out=print):
     from repro.curves import get_curve
     from repro.harness.circuits import build_exponentiate
+    from repro.resilience.retry import deadline_scope
     from repro.workflow import STAGES, Workflow
 
     curve = get_curve(args.curve)
     builder, inputs = build_exponentiate(curve, args.exponent, x_value=args.x)
-    with Workflow(curve, builder, inputs, seed=0, workers=args.workers) as wf:
-        for stage in STAGES:
-            # The workflow already times each stage (StageResult.elapsed);
-            # report that instead of re-timing around the call.
-            result = wf.run_stage(stage)
-            out(f"{stage:10s} {result.elapsed:8.3f}s")
+    # --timeout installs a cooperative deadline for the whole run: the hot
+    # kernels poll it mid-stage, and the explicit checks below enforce it
+    # at stage boundaries for stages with no poll points.
+    with deadline_scope(args.timeout, stage="prove") as dl:
+        if dl is not None:
+            dl.check()
+        with Workflow(curve, builder, inputs, seed=0,
+                      workers=args.workers) as wf:
+            for stage in STAGES:
+                # The workflow already times each stage
+                # (StageResult.elapsed); report that instead of re-timing
+                # around the call.
+                result = wf.run_stage(stage)
+                out(f"{stage:10s} {result.elapsed:8.3f}s")
+                if dl is not None:
+                    dl.check()
     out(f"proof: {wf.proof.size_bytes()} bytes; accepted: {wf.accepted}")
     if args.out and wf.accepted:
         import json
@@ -585,25 +746,31 @@ def cmd_verify(args, out=print):
     from repro.groth16.serialize import proof_from_bytes, vk_from_bytes
     from repro.groth16.verifier import verify
     from repro.resilience.errors import ArtifactCorruption
+    from repro.resilience.retry import deadline_scope
 
     def _read(name, mode="rb"):
         with open(os.path.join(args.dir, name), mode) as f:
             return f.read()
 
-    proof = proof_from_bytes(_read("proof.bin"))
-    vk = vk_from_bytes(_read("vk.bin"))
-    try:
-        publics = json.loads(_read("publics.json", "r"))
-    except ValueError as exc:
-        raise ArtifactCorruption(
-            f"unparseable publics.json: {exc}", artifact="publics",
-        ) from exc
-    if (not isinstance(publics, list)
-            or not all(isinstance(v, int) for v in publics)):
-        raise ArtifactCorruption(
-            "publics.json must be a list of integers", artifact="publics",
-        )
-    accepted = verify(vk, proof, publics)
+    with deadline_scope(args.timeout, stage="verify") as dl:
+        if dl is not None:
+            dl.check()
+        proof = proof_from_bytes(_read("proof.bin"))
+        vk = vk_from_bytes(_read("vk.bin"))
+        try:
+            publics = json.loads(_read("publics.json", "r"))
+        except ValueError as exc:
+            raise ArtifactCorruption(
+                f"unparseable publics.json: {exc}", artifact="publics",
+            ) from exc
+        if (not isinstance(publics, list)
+                or not all(isinstance(v, int) for v in publics)):
+            raise ArtifactCorruption(
+                "publics.json must be a list of integers", artifact="publics",
+            )
+        if dl is not None:
+            dl.check()
+        accepted = verify(vk, proof, publics)
     out(f"accepted: {accepted}")
     return 0 if accepted else 1
 
@@ -803,15 +970,19 @@ def cmd_perf_check(args, out=print):
 
 def cmd_sweep(args, out=print):
     from repro.resilience.checkpoint import DEFAULT_DIR as CKPT_DIR
+    from repro.resilience.retry import deadline_scope
 
     base = args.checkpoint_dir or CKPT_DIR
     out(f"checkpointed sweep: curves={args.curves} sizes={args.sizes} "
         f"workload={args.workload} seed={args.seed}"
         + (" (resuming)" if args.resume else ""))
-    sweep = profile_sweep(
-        curve_names=args.curves, sizes=args.sizes, seed=args.seed,
-        workload=args.workload, checkpoint=base, resume=args.resume,
-    )
+    with deadline_scope(args.timeout, stage="sweep") as dl:
+        if dl is not None:
+            dl.check()
+        sweep = profile_sweep(
+            curve_names=args.curves, sizes=args.sizes, seed=args.seed,
+            workload=args.workload, checkpoint=base, resume=args.resume,
+        )
     for (curve_name, size), profiles in sorted(sweep.items()):
         total = sum(p.elapsed for p in profiles.values())
         out(f"  {curve_name:10s} n={size:<8d} {total:8.3f}s "
@@ -823,6 +994,21 @@ def cmd_sweep(args, out=print):
 def cmd_chaos(args, out=print):
     from repro.resilience.chaos import run_chaos
 
+    if args.under_load:
+        from repro.serve import run_chaos_load
+
+        report = run_chaos_load(
+            seed=args.seed, n_faults=args.faults, rps=args.rps,
+            duration_s=args.duration, mix=args.mix, curve=args.curve,
+            size=args.size, workload=args.workload, workers=args.workers,
+            max_queue=args.max_queue, max_inflight=args.max_inflight,
+            deadline_s=args.deadline, bad_verify_pct=args.bad_verify_pct,
+            max_attempts=args.max_attempts,
+        )
+        out(report.to_json(indent=2) if args.as_json else report.render_text())
+        # 0: every request resolved typed; 1: a hang or an untyped escape.
+        return 0 if report.acceptable else 1
+
     report = run_chaos(
         seed=args.seed, n_faults=args.faults, curve=args.curve,
         size=args.size, workload=args.workload,
@@ -832,6 +1018,107 @@ def cmd_chaos(args, out=print):
     # 0: the resilience contract held (recovered, or failed *typed*);
     # 1: a bare exception escaped or the proof was silently rejected.
     return 0 if report.acceptable else 1
+
+
+def cmd_serve(args, out=print):
+    import asyncio
+    import signal
+
+    from repro.serve import ProvingService, run_loadtest
+
+    service = ProvingService(
+        curve=args.curve, size=args.size, workload=args.workload,
+        workers=args.workers, max_queue=args.max_queue,
+        max_inflight=args.max_inflight, default_deadline_s=args.deadline,
+        seed=args.seed)
+
+    async def _main():
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                # Platforms/loops without signal-handler support fall
+                # back to KeyboardInterrupt for SIGINT.
+                pass
+        await service.start()
+        out(f"serving: curve={args.curve} size={args.size} "
+            f"workload={args.workload} workers={args.workers or 1} "
+            f"max_queue={args.max_queue} max_inflight={args.max_inflight}"
+            + (f" deadline={args.deadline}s" if args.deadline else "")
+            + " (SIGTERM drains)")
+        traffic = None
+        waiters = [loop.create_task(stop.wait())]
+        if args.rps is not None:
+            traffic = loop.create_task(run_loadtest(
+                service, rps=args.rps, duration_s=args.duration,
+                mix=args.mix, seed=args.seed, stop=stop))
+            waiters.append(traffic)
+        await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+        out("draining: admission closed, finishing in-flight jobs ...")
+        await service.drain()
+        if traffic is not None:
+            # Requests the generator issues after the drain are shed
+            # typed, so the report always completes.
+            load = await traffic
+            out(load.render_text())
+        st = service.stats()
+        counts = st["counts"]
+        out(f"drained clean: {counts['ok']} ok / {counts['submitted']} "
+            f"submitted, outstanding={st['outstanding']}")
+        return 0
+
+    return asyncio.run(_main())
+
+
+def cmd_loadtest(args, out=print):
+    import asyncio
+
+    from repro.obs import format as obs_format
+    from repro.obs import ledger, metrics
+    from repro.serve import ProvingService, run_loadtest
+
+    registry = metrics.MetricsRegistry()
+    service = ProvingService(
+        curve=args.curve, size=args.size, workload=args.workload,
+        workers=args.workers, max_queue=args.max_queue,
+        max_inflight=args.max_inflight, default_deadline_s=args.deadline,
+        seed=args.seed)
+
+    async def _main():
+        await service.start()
+        try:
+            with metrics.collecting(registry):
+                return await run_loadtest(
+                    service, rps=args.rps, duration_s=args.duration,
+                    mix=args.mix, seed=args.seed,
+                    bad_verify_pct=args.bad_verify_pct)
+        finally:
+            await service.drain()
+
+    load = asyncio.run(_main())
+    record = ledger.make_record(
+        kind="loadtest",
+        curve=args.curve,
+        size=args.size,
+        workload=args.workload,
+        seed=args.seed,
+        stages=[],
+        metrics=registry.snapshot(),
+        label=args.label,
+        service=load.to_service_block(),
+    )
+    obs_format.emit_record(record, args.as_json, out, render=[
+        load.render_text,
+    ])
+    if not args.no_ledger:
+        path = args.ledger or os.path.join(ledger.DEFAULT_DIR,
+                                           "loadtest.jsonl")
+        obs_format.append_record(record, path, out, quiet=args.as_json)
+    # 1 on a typed-resolution breach: the loadtest doubles as a liveness
+    # gate for the serving layer.
+    return 1 if load.unresolved else 0
 
 
 def cmd_parallel_check(args, out=print):
@@ -1010,6 +1297,7 @@ def main(argv=None, out=print):
                "profile": cmd_profile, "deep-profile": cmd_deep_profile,
                "report": cmd_report, "perf-check": cmd_perf_check,
                "sweep": cmd_sweep, "chaos": cmd_chaos,
+               "serve": cmd_serve, "loadtest": cmd_loadtest,
                "parallel-check": cmd_parallel_check,
                "parallel-report": cmd_parallel_report}[args.command]
     try:

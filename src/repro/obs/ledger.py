@@ -12,12 +12,13 @@ unless a ledger is installed (:func:`install`, :func:`recording_to`, or
 the ``REPRO_LEDGER=<path>`` environment variable at import time), so the
 test suite's thousands of workflow runs write nothing.
 
-Record schema (version 3) — see ``docs/OBSERVABILITY.md`` for a worked
+Record schema (version 4) — see ``docs/OBSERVABILITY.md`` for a worked
 example::
 
     {
-      "schema": 3,
-      "kind": "profile" | "workflow" | "profile_run" | "deep-profile",
+      "schema": 4,
+      "kind": "profile" | "workflow" | "profile_run" | "deep-profile"
+              | "loadtest" | "serve",
       "ts": <unix seconds>,
       "label": <free-form or null>,
       "machine": {...machine_fingerprint()...},
@@ -28,15 +29,18 @@ example::
                    "cpu_s"?, "rss_peak_delta_kb"?, "gc_collections"?}, ... ],
       "metrics": {...MetricsRegistry.snapshot()...} | null,
       "profile": {...DeepProfiler.to_profile_block()...} | null,
-      "workers": {...WorkerTelemetry.to_workers_block()...} | null
+      "workers": {...WorkerTelemetry.to_workers_block()...} | null,
+      "service": {...LoadReport.to_service_block()...} | null
     }
 
 Version history: v1 had no ``profile`` field and no lifted per-stage
 ``cpu_s``/``rss_peak_delta_kb``/``gc_collections``; v2 had no
-``workers`` block (cross-process worker telemetry, PR 7).  Readers treat
-every versioned field as optional, so v1/v2 ledgers keep loading and
-``perf-check`` works across mixed-version ledgers (``--metric
-cpu``/``rss`` simply skips v1 cells whose stage records carry no span).
+``workers`` block (cross-process worker telemetry, PR 7); v3 had no
+``service`` block (proving-service load reports, :mod:`repro.serve`).
+Readers treat every versioned field as optional, so v1–v3 ledgers keep
+loading and ``perf-check`` works across mixed-version ledgers
+(``--metric cpu``/``rss`` simply skips v1 cells whose stage records
+carry no span).
 """
 
 from __future__ import annotations
@@ -59,7 +63,7 @@ __all__ = [
     "uninstall",
 ]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Conventional ledger directory (relative to the working directory).
 DEFAULT_DIR = os.path.join("results", "runs")
@@ -89,15 +93,17 @@ class Ledger:
 
 
 def make_record(kind, curve, size, workload, stages, seed=None, metrics=None,
-                label=None, profile=None, workers=None):
-    """Assemble one schema-v3 record.
+                label=None, profile=None, workers=None, service=None):
+    """Assemble one schema-v4 record.
 
     *stages* is a list of stage dicts (``StageResult.to_record()`` shape);
     *metrics* a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`;
     *profile* a :meth:`~repro.obs.prof.DeepProfiler.to_profile_block`
     (``None`` for unprofiled runs); *workers* a
     :meth:`~repro.obs.worker.WorkerTelemetry.to_workers_block` (``None``
-    for serial or untelemetered runs).
+    for serial or untelemetered runs); *service* a
+    :meth:`~repro.serve.loadgen.LoadReport.to_service_block` (``None``
+    for runs that did not go through the proving service).
     """
     fp = machine_fingerprint()
     return {
@@ -116,6 +122,7 @@ def make_record(kind, curve, size, workload, stages, seed=None, metrics=None,
         "metrics": metrics,
         "profile": profile,
         "workers": workers,
+        "service": service,
     }
 
 

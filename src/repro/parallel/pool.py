@@ -54,11 +54,13 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from contextlib import contextmanager, nullcontext
 
 from repro.resilience import retry as resilience
 from repro.resilience.errors import (
+    AdmissionError,
     ArtifactCorruption,
     PoolStateError,
     ReproError,
@@ -133,6 +135,7 @@ _TYPED = {
     "timeout": StageTimeout,
     "corrupt": ArtifactCorruption,
     "resources": ResourceExhausted,
+    "admission": AdmissionError,
     "order": StageOrderError,
     "pool": PoolStateError,
     "worker": WorkerCrash,
@@ -346,31 +349,52 @@ class WorkerPool:
         self.min_batch = min_batch
         self._pool = None
         self._closed = False
+        # Serializes lifecycle transitions (_ensure_pool / close) so a
+        # drain thread closing the pool cannot race a mapping thread
+        # materializing it — the SIGTERM-drain contract of repro.serve.
+        self._lock = threading.Lock()
         #: pid -> {"tasks", "wall_s", "cpu_s"} accumulated over every map.
         self.worker_stats = {}
 
     # -- lifecycle ----------------------------------------------------------------
 
+    @property
+    def closed(self):
+        return self._closed
+
     def _ensure_pool(self):
-        if self._closed:
-            raise PoolStateError("pool is closed")
-        if self._pool is None:
-            import multiprocessing
+        with self._lock:
+            if self._closed:
+                raise PoolStateError("pool is closed")
+            if self._pool is None:
+                import multiprocessing
 
-            ctx = multiprocessing.get_context(
-                "fork" if "fork" in multiprocessing.get_all_start_methods()
-                else None
-            )
-            self._pool = ctx.Pool(processes=self.workers)
-        return self._pool
+                ctx = multiprocessing.get_context(
+                    "fork" if "fork" in multiprocessing.get_all_start_methods()
+                    else None
+                )
+                self._pool = ctx.Pool(processes=self.workers)
+            return self._pool
 
-    def close(self):
-        """Tear down the worker processes (idempotent)."""
-        self._closed = True
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+    def close(self, graceful=False):
+        """Tear down the worker processes (idempotent, thread-safe).
+
+        With ``graceful=True`` outstanding tasks of an in-flight
+        :meth:`map` finish and deliver their results before the workers
+        exit (``multiprocessing.Pool.close``); the default terminates the
+        workers immediately.  Either way ``join()`` reaps every forked
+        child, so a drained pool leaves no orphans behind — the property
+        the SIGTERM drain of :mod:`repro.serve` (and its test) pins down.
+        """
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            if graceful:
+                pool.close()
+            else:
+                pool.terminate()
+            pool.join()
 
     def __enter__(self):
         return self
@@ -399,6 +423,11 @@ class WorkerPool:
         from repro.obs import spans
         from repro.obs import worker as obs_worker
 
+        if self._closed:
+            # Both backends refuse new work after close(); the process
+            # path would raise from _ensure_pool anyway, the serial path
+            # must not silently keep computing through a drain.
+            raise PoolStateError("pool is closed")
         payloads = list(payloads)
         if not payloads:
             return [], []

@@ -20,6 +20,12 @@ report crisply — has one class here, so callers can build policy on
 ``ResourceExhausted``
     Memory/space pressure.  Not retried as-is; degradation policies
     (:mod:`repro.resilience.degrade`) downshift the work instead.
+``AdmissionError``
+    The serving layer (:mod:`repro.serve`) refused to accept a request —
+    queue full, in-flight cap reached, or the service is draining.  Load
+    shedding is a *deliberate* answer, not a fault to mask: never
+    retryable by the service (the client may re-submit later, which is a
+    policy decision above this taxonomy).
 ``WorkerCrash``
     An *untyped* exception escaped inside a parallel worker process
     (:mod:`repro.parallel`).  Taxonomy errors cross the process boundary
@@ -48,6 +54,7 @@ retry loop may re-attempt.
 from __future__ import annotations
 
 __all__ = [
+    "AdmissionError",
     "ArtifactCorruption",
     "PoolStateError",
     "ReproError",
@@ -102,6 +109,19 @@ class ArtifactCorruption(ReproError, ValueError):
 
 class ResourceExhausted(ReproError):
     code = "resources"
+
+
+class AdmissionError(ReproError):
+    """The serving layer shed a request instead of queueing it.
+
+    Raised (or reported as ``error[admission]``) when the bounded job
+    queue or the in-flight cap of :class:`repro.serve.ProvingService` is
+    full, or the service is draining.  Deliberately **not** in
+    :data:`RETRYABLE`: shedding exists to protect the slow CPU-bound
+    core, and transparently re-queueing would undo it.
+    """
+
+    code = "admission"
 
 
 class StageOrderError(ReproError, RuntimeError):

@@ -69,6 +69,13 @@ class RetryPolicy:
         raw = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
         return raw * (1.0 - self.jitter * self._rng.random())
 
+    @property
+    def sleeps(self):
+        """False when built with ``sleep=None`` — callers that wait
+        asynchronously (the serving layer) skip the wait entirely then,
+        mirroring what :meth:`backoff` does for synchronous callers."""
+        return self._sleep is not None
+
     def backoff(self, attempt):
         """Sleep the computed delay (no-op when constructed with
         ``sleep=None``, as the test suite and chaos CLI do)."""

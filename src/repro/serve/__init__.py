@@ -1,0 +1,31 @@
+"""Fault-tolerant asyncio proving service (``repro.serve``).
+
+The serving layer in front of the measured pipeline: bounded admission
+(:class:`~repro.serve.service.ProvingService`), per-request cooperative
+deadlines, retry + circuit breaking over the worker pool, coalesced
+batch verification with poisoned-member isolation, and graceful drain.
+:mod:`~repro.serve.loadgen` drives it open-loop for the ``loadtest``
+CLI verb; :mod:`~repro.serve.chaosload` replays seeded fault plans under
+live traffic (``chaos --under-load``).  See docs/SERVING.md.
+"""
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.chaosload import ChaosLoadReport, run_chaos_load
+from repro.serve.jobs import KINDS, STATUSES, Job, JobResult
+from repro.serve.loadgen import LoadReport, parse_mix, run_loadtest
+from repro.serve.service import SERVE_SITES, ProvingService
+
+__all__ = [
+    "ChaosLoadReport",
+    "CircuitBreaker",
+    "Job",
+    "JobResult",
+    "KINDS",
+    "LoadReport",
+    "ProvingService",
+    "SERVE_SITES",
+    "STATUSES",
+    "parse_mix",
+    "run_chaos_load",
+    "run_loadtest",
+]

@@ -1,0 +1,156 @@
+"""Chaos under load: seeded fault injection while traffic flows.
+
+:func:`run_chaos_load` is the serving-layer sibling of
+:func:`repro.resilience.chaos.run_chaos`: instead of one pipeline run, it
+stands up a :class:`~repro.serve.service.ProvingService`, installs a
+deterministic fault plan drawn over the *service* sites (plus the kernel
+sites prove/verify reach naturally), and drives open-loop traffic
+through it.  The contract under test is stronger than the pipeline
+one — not merely "typed or recovered" for one run, but:
+
+- **zero hangs**: every admitted request resolves (the load generator
+  awaits every future; a missing resolution would deadlock the test,
+  which is why the suite runs it under its own deadline);
+- **everything typed**: every non-``ok`` result carries a taxonomy
+  ``error_code`` — shed requests as ``error[admission]``, expired ones
+  as ``error[timeout]``, injected faults as their own leaf after the
+  retry/degradation budget is spent; ``untyped`` is the one verdict
+  treated as a bug.
+
+The whole story — fault plan, arrival order, retry schedule — replays
+bit-identically for one seed (the retry policy is built with
+``sleep=None`` so backoff is recorded, not slept).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs import metrics
+from repro.resilience import faults
+from repro.resilience.retry import RetryPolicy
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.loadgen import run_loadtest
+from repro.serve.service import ProvingService
+
+__all__ = ["ChaosLoadReport", "CHAOS_LOAD_SITES", "run_chaos_load"]
+
+#: Sites the chaos-under-load schedule draws from: the service's own
+#: fault points plus the kernels a prove request reaches.
+CHAOS_LOAD_SITES = (
+    "serve:prove",
+    "serve:verify",
+    "msm:pippenger",
+    "ntt:transform",
+)
+
+
+class ChaosLoadReport:
+    """Outcome of one chaos-under-load run."""
+
+    def __init__(self, seed, plan, load, counters):
+        self.seed = seed
+        self.plan = plan
+        self.load = load
+        self.counters = counters
+
+    @property
+    def violations(self):
+        """Typed-resolution breaches: unresolved results and results
+        whose error escaped the taxonomy."""
+        out = [f"request {r.request_id} ({r.kind}) did not resolve typed: "
+               f"status={r.status!r} error_code={r.error_code!r}"
+               for r in self.load.unresolved]
+        out.extend(
+            f"request {r.request_id} ({r.kind}) resolved untyped: {r.error}"
+            for r in self.load.results if r.error_code == "untyped")
+        return out
+
+    @property
+    def acceptable(self):
+        """True iff every request resolved and every failure was typed."""
+        return not self.violations
+
+    @property
+    def status(self):
+        return "all-typed" if self.acceptable else "contract-violated"
+
+    def to_dict(self):
+        return {
+            "seed": self.seed,
+            "status": self.status,
+            "plan": [spec.to_dict() for spec in self.plan],
+            "faults_fired": sum(1 for s in self.plan if s.fired),
+            "violations": self.violations,
+            "service": self.load.to_service_block(),
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def to_json(self, indent=None):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render_text(self):
+        fired = sum(1 for s in self.plan if s.fired)
+        lines = [
+            f"chaos under load: seed={self.seed} faults={len(self.plan)} "
+            f"({fired} fired)",
+            "plan:",
+        ]
+        for spec in self.plan:
+            state = "fired  " if spec.fired else "pending"
+            lines.append(f"  [{state}] {spec.kind:9s} at {spec.site} "
+                         f"(hit {spec.hit})")
+        lines.append(self.load.render_text())
+        lines.append(f"outcome: {self.status}")
+        for v in self.violations:
+            lines.append(f"  VIOLATION: {v}")
+        return "\n".join(lines)
+
+
+def run_chaos_load(seed=0, n_faults=4, rps=8.0, duration_s=2.0, mix=None,
+                   curve="bn128", size=32, workload="exponentiate",
+                   workers=None, max_queue=16, max_inflight=64,
+                   deadline_s=None, bad_verify_pct=0.0, max_hit=3,
+                   max_attempts=3, plan=None):
+    """Run one seeded chaos-under-load experiment; returns a
+    :class:`ChaosLoadReport`.
+
+    *plan* overrides the schedule derived from *seed* (the test suite
+    pins single faults to single sites with it).  The run owns its
+    event loop (``asyncio.run``), so it is callable from the CLI and
+    from synchronous tests alike.
+    """
+    if plan is None:
+        plan = faults.schedule(seed, n_faults, sites=CHAOS_LOAD_SITES,
+                               max_hit=max_hit)
+    service = ProvingService(
+        curve=curve, size=size, workload=workload, workers=workers,
+        max_queue=max_queue, max_inflight=max_inflight,
+        default_deadline_s=deadline_s,
+        retry=RetryPolicy(max_attempts=max_attempts, seed=seed, sleep=None),
+        breaker=CircuitBreaker(cooldown_s=0.05), seed=seed)
+
+    registry = metrics.MetricsRegistry()
+
+    async def _run():
+        # Build the circuit cell *before* arming the injector: chaos
+        # targets the serving window, not the warm-up setup/proof.
+        await service.start()
+        try:
+            with metrics.collecting(registry), faults.injecting(plan):
+                return await run_loadtest(
+                    service, rps=rps, duration_s=duration_s, mix=mix,
+                    seed=seed, deadline_s=deadline_s,
+                    bad_verify_pct=bad_verify_pct)
+        finally:
+            await service.drain()
+
+    load = asyncio.run(_run())
+    counters = {
+        name: value
+        for name, value in registry.snapshot()["counters"].items()
+        if name.startswith(("repro_serve_", "repro_resilience_"))
+    }
+    return ChaosLoadReport(seed=seed, plan=plan, load=load,
+                           counters=counters)

@@ -1,0 +1,119 @@
+"""Request/result model of the proving service.
+
+Every request the service ever accepts — and every request it refuses —
+ends as exactly one :class:`JobResult`, so "no request hangs and none
+resolves untyped" is checkable by construction: a result's ``status`` is
+one of :data:`STATUSES` and a non-``ok`` result always carries the
+taxonomy ``error_code`` behind it (``admission``, ``timeout``, or
+another :mod:`repro.resilience.errors` leaf).
+
+Internally a :class:`Job` is the queue-resident form: the asyncio future
+the submitter awaits, the admission timestamp the queue-wait and
+deadline math hang off, and — for verify requests — the proof/publics
+payload the batcher coalesces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Job", "JobResult", "KINDS", "STATUSES"]
+
+#: Request kinds the service executes.
+KINDS = ("prove", "verify")
+
+#: Every terminal state of a request.  ``ok`` may still mean "proof
+#: rejected" for verify requests (see :attr:`JobResult.accepted`) — the
+#: *service* worked; the proof was invalid.
+STATUSES = ("ok", "shed", "timeout", "error")
+
+
+@dataclass
+class JobResult:
+    """The one terminal record of a request's life in the service."""
+
+    request_id: int
+    kind: str
+    status: str
+    #: Taxonomy code (``repro.resilience.errors``) for non-``ok``
+    #: statuses; ``None`` on success.
+    error_code: Optional[str] = None
+    #: The typed one-line rendering (``error[<code>]: ...``) or ``None``.
+    error: Optional[str] = None
+    #: Verify requests: the verifier's verdict (``None`` for prove).
+    accepted: Optional[bool] = None
+    #: Prove requests: serialized proof size (``None`` for verify).
+    proof_bytes: Optional[int] = None
+    #: Seconds from admission to execution start (0 for shed requests).
+    queue_wait_s: float = 0.0
+    #: Seconds spent executing (all attempts; 0 for shed requests).
+    service_s: float = 0.0
+    #: Seconds from admission to resolution.
+    total_s: float = 0.0
+    #: Execution attempts consumed (retries show up here).
+    attempts: int = 0
+    #: Verify requests resolved through a coalesced batch: batch size.
+    batched: int = 0
+    #: True when the breaker had tripped and the job ran degraded
+    #: (serial, no worker pool).
+    degraded: bool = False
+
+    @property
+    def resolved_typed(self):
+        """The robustness contract: a known status, and errors carry a
+        taxonomy code."""
+        if self.status not in STATUSES:
+            return False
+        if self.status == "ok":
+            return True
+        return bool(self.error_code)
+
+    def to_dict(self):
+        return {
+            "request_id": self.request_id,
+            "kind": self.kind,
+            "status": self.status,
+            "error_code": self.error_code,
+            "error": self.error,
+            "accepted": self.accepted,
+            "proof_bytes": self.proof_bytes,
+            "queue_wait_s": round(self.queue_wait_s, 6),
+            "service_s": round(self.service_s, 6),
+            "total_s": round(self.total_s, 6),
+            "attempts": self.attempts,
+            "batched": self.batched,
+            "degraded": self.degraded,
+        }
+
+
+@dataclass
+class Job:
+    """Queue-resident form of an admitted request."""
+
+    request_id: int
+    kind: str
+    future: Any  # asyncio.Future[JobResult]
+    #: Absolute per-request budget in seconds (None = no deadline).
+    deadline_s: Optional[float] = None
+    #: perf_counter at admission.
+    admitted_ts: float = field(default_factory=time.perf_counter)
+    #: Verify payload: (proof, publics); prove jobs carry None.
+    payload: Any = None
+    #: Set by the service when the job leaves the outstanding count —
+    #: exactly once, even if the caller cancelled the future meanwhile.
+    accounted: bool = False
+
+    def elapsed(self):
+        return time.perf_counter() - self.admitted_ts
+
+    def remaining(self):
+        """Seconds left on the request deadline (None = unbounded)."""
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s - self.elapsed()
+
+    def expired(self):
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0

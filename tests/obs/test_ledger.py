@@ -42,13 +42,13 @@ class TestFingerprint:
 
 
 class TestMakeRecord:
-    def test_schema_v3_shape(self):
+    def test_schema_v4_shape(self):
         rec = make_record(
             kind="profile", curve="bn128", size=64, workload="exponentiate",
             seed=0, stages=[{"stage": "compile", "elapsed_s": 0.01, "span": None}],
             metrics={"counters": {}}, label="unit",
         )
-        assert rec["schema"] == 3
+        assert rec["schema"] == 4
         assert rec["kind"] == "profile"
         assert rec["machine_id"] == fingerprint.fingerprint_id(rec["machine"])
         assert rec["ts"] > 0
@@ -56,6 +56,7 @@ class TestMakeRecord:
         assert rec["label"] == "unit"
         assert rec["profile"] is None  # unprofiled runs carry no block
         assert rec["workers"] is None  # serial runs carry no workers block
+        assert rec["service"] is None  # non-serving runs carry no block
         json.dumps(rec)  # must be JSON-serializable as-is
 
     def test_record_carries_profile_block(self):
@@ -77,27 +78,49 @@ class TestMakeRecord:
         assert rec["workers"] == block
         json.dumps(rec)
 
-    def test_v1_and_v2_records_still_load(self, tmp_path):
+    def test_record_carries_service_block(self):
+        """A loadtest record round-trips the v4 ``service`` block as-is."""
+        block = {"rps_target": 8.0, "duration_s": 10.0,
+                 "mix": {"prove": 1, "verify": 1},
+                 "requests": {"sent": 80, "ok": 70, "shed": 6,
+                              "timeout": 4, "error": 0, "unresolved": 0},
+                 "latency_s": {"p50": 0.1, "p95": 0.4, "p99": 0.6,
+                               "mean": 0.15, "max": 0.7},
+                 "throughput_rps": 7.0, "shed_rate": 0.075,
+                 "timeout_rate": 0.05, "error_rate": 0.0}
+        rec = make_record(
+            kind="loadtest", curve="bn128", size=32,
+            workload="exponentiate", seed=0, stages=[], service=block,
+        )
+        assert rec["schema"] == 4
+        assert rec["service"] == block
+        json.dumps(rec)
+
+    def test_v1_through_v3_records_still_load(self, tmp_path):
         """Pre-upgrade lines — v1 (no profile field, no lifted per-stage
-        cpu/rss) and v2 (no workers block) — must keep loading alongside
-        v3 records."""
+        cpu/rss), v2 (no workers block) and v3 (no service block) — must
+        keep loading alongside v4 records."""
         v1 = {"schema": 1, "kind": "profile", "ts": 1.0, "curve": "bn128",
               "size": 64, "workload": "exponentiate", "seed": 0,
               "stages": [{"stage": "compile", "elapsed_s": 0.01,
                           "span": None}], "metrics": None}
         v2 = dict(v1, schema=2, ts=2.0, profile=None)
+        v3 = dict(v2, schema=3, ts=3.0, workers=None)
         path = tmp_path / "mixed.jsonl"
         led = Ledger(str(path))
         led.append(v1)
         led.append(v2)
+        led.append(v3)
         led.append(make_record(kind="profile", curve="bn128", size=64,
                                workload="exponentiate", seed=0, stages=[]))
         records = read_ledger(str(path))
-        assert [r["schema"] for r in records] == [1, 2, 3]
+        assert [r["schema"] for r in records] == [1, 2, 3, 4]
         assert "profile" not in records[0]
         assert "workers" not in records[1]
-        assert records[2]["profile"] is None
-        assert records[2]["workers"] is None
+        assert "service" not in records[2]
+        assert records[3]["profile"] is None
+        assert records[3]["workers"] is None
+        assert records[3]["service"] is None
 
 
 class TestLedgerFile:

@@ -209,6 +209,84 @@ class TestLifecycle:
         with pytest.raises(RuntimeError):
             pool.map("selftest_square", [{"x": 2}])
 
+    def test_closed_serial_pool_refuses_work(self):
+        from repro.resilience.errors import PoolStateError
+
+        pool = WorkerPool(1)
+        pool.close()
+        with pytest.raises(PoolStateError, match="closed"):
+            pool.map("selftest_square", [{"x": 2}])
+
+    def test_closed_property(self):
+        pool = WorkerPool(2)
+        assert pool.closed is False
+        pool.close()
+        assert pool.closed is True
+
+    def test_graceful_close_with_inflight_map(self):
+        """SIGTERM-drain contract: close(graceful=True) from another
+        thread lets an in-flight map finish and deliver its results."""
+        import threading
+        import time as _time
+
+        pool = WorkerPool(2)
+        payloads = [{"x": i} for i in range(64)]
+        results = {}
+
+        def mapper():
+            results["out"], _fired = pool.map("selftest_square", payloads)
+
+        t = threading.Thread(target=mapper)
+        t.start()
+        _time.sleep(0.05)  # let the map start dispatching
+        pool.close(graceful=True)
+        t.join(timeout=60)
+        assert not t.is_alive()
+        assert results.get("out") == [i * i for i in range(64)]
+        assert pool.closed
+
+    def test_close_reaps_fork_children(self):
+        """A drained pool leaves no orphaned worker processes behind."""
+        import multiprocessing
+
+        before = {p.pid for p in multiprocessing.active_children()}
+        pool = WorkerPool(2)
+        pool.map("selftest_square", [{"x": 3}])
+        spawned = [p for p in multiprocessing.active_children()
+                   if p.pid not in before]
+        assert spawned, "the process backend must fork workers"
+        pool.close(graceful=True)
+        after = {p.pid for p in multiprocessing.active_children()}
+        assert not (after - before), "close() must reap every worker"
+
+    def test_concurrent_close_and_map_race_is_typed(self):
+        """A mapping thread racing a closing thread either completes or
+        fails with the typed pool guard — never hangs or tracebacks."""
+        import threading
+
+        from repro.resilience.errors import PoolStateError
+
+        for _ in range(5):
+            pool = WorkerPool(2)
+            errors = []
+
+            def mapper():
+                try:
+                    pool.map("selftest_square", [{"x": 2}] * 8)
+                except PoolStateError:
+                    errors.append("typed")
+                except Exception as exc:  # noqa: BLE001 - the failure mode under test
+                    errors.append(repr(exc))
+
+            threads = [threading.Thread(target=mapper) for _ in range(3)]
+            for t in threads:
+                t.start()
+            pool.close(graceful=True)
+            for t in threads:
+                t.join(timeout=60)
+                assert not t.is_alive()
+            assert all(e == "typed" for e in errors), errors
+
     def test_lifecycle_guards_are_typed(self):
         # Both guards are taxonomy leaves (error[pool]) that still
         # satisfy the RuntimeError expectations of older callers.

@@ -1,0 +1,88 @@
+"""Chaos-under-load contract: with seeded faults firing inside the live
+service, every request still resolves typed — zero hangs, zero untyped
+escapes — and the whole story replays deterministically per seed."""
+
+import json
+
+import pytest
+
+from repro.resilience.faults import FaultSpec
+from repro.serve import run_chaos_load
+from repro.serve.chaosload import CHAOS_LOAD_SITES
+
+
+def small_run(**kwargs):
+    kwargs.setdefault("size", 8)
+    kwargs.setdefault("rps", 20)
+    kwargs.setdefault("duration_s", 0.5)
+    return run_chaos_load(**kwargs)
+
+
+class TestContract:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_requests_resolve_typed(self, seed):
+        report = small_run(seed=seed, n_faults=4)
+        assert report.acceptable, report.violations
+        assert report.status == "all-typed"
+        block = report.load.to_service_block()
+        assert block["requests"]["unresolved"] == 0
+        assert block["requests"]["sent"] == 10
+
+    def test_faults_actually_fire(self):
+        # Pinned plan: both service sites, first hit — guaranteed to
+        # trigger under a prove+verify mix.
+        plan = [FaultSpec("serve:prove", "transient", hit=1),
+                FaultSpec("serve:verify", "transient", hit=1)]
+        report = small_run(seed=0, plan=plan)
+        assert all(spec.fired for spec in report.plan)
+        assert report.acceptable
+        assert report.load.to_service_block()["retries"] >= 2
+
+    def test_injected_timeout_resolves_as_timeout(self):
+        plan = [FaultSpec("serve:prove", "timeout", hit=1)]
+        report = small_run(seed=0, plan=plan, mix={"prove": 1})
+        assert report.acceptable
+        codes = report.load.error_codes()
+        assert codes.get("timeout", 0) >= 1
+
+    def test_oom_fault_is_typed_not_retried(self):
+        plan = [FaultSpec("serve:prove", "oom", hit=1)]
+        report = small_run(seed=0, plan=plan, mix={"prove": 1})
+        assert report.acceptable
+        bad = [r for r in report.load.results if r.status == "error"]
+        assert len(bad) == 1
+        assert bad[0].error_code == "resources"
+        assert bad[0].attempts == 1
+
+    def test_under_load_with_workers_stays_typed(self):
+        report = small_run(seed=5, n_faults=3, workers=2, size=64, rps=10)
+        assert report.acceptable, report.violations
+
+    def test_schedule_draws_from_serve_sites(self):
+        report = small_run(seed=11, n_faults=6)
+        assert all(spec.site in CHAOS_LOAD_SITES for spec in report.plan)
+
+
+class TestReport:
+    def test_json_round_trip(self):
+        report = small_run(seed=3, n_faults=3)
+        data = json.loads(report.to_json())
+        assert data["status"] == report.status
+        assert len(data["plan"]) == 3
+        assert data["service"]["requests"]["sent"] == report.load.sent
+        assert data["violations"] == []
+
+    def test_render_text_shows_plan_and_outcome(self):
+        report = small_run(seed=4, n_faults=2)
+        text = report.render_text()
+        assert "chaos under load" in text
+        assert "plan:" in text
+        assert "outcome: all-typed" in text
+
+    def test_same_seed_same_story(self):
+        a = small_run(seed=6, n_faults=4)
+        b = small_run(seed=6, n_faults=4)
+        assert [s.site for s in a.plan] == [s.site for s in b.plan]
+        assert ([r.kind for r in a.load.results]
+                == [r.kind for r in b.load.results])
+        assert a.load.error_codes() == b.load.error_codes()

@@ -1,0 +1,150 @@
+"""Load-generator tests: mix parsing, open-loop accounting, the ledger
+service block, and determinism of the seeded request story."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.ledger import make_record
+from repro.resilience.retry import RetryPolicy
+from repro.serve import CircuitBreaker, ProvingService, parse_mix, run_loadtest
+from repro.serve.loadgen import percentile
+
+
+def fast_service(**kwargs):
+    kwargs.setdefault("size", 8)
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=3, sleep=None))
+    kwargs.setdefault("breaker", CircuitBreaker(cooldown_s=0.01))
+    return ProvingService(**kwargs)
+
+
+def run_load(service, **kwargs):
+    async def main():
+        await service.start()
+        try:
+            return await run_loadtest(service, **kwargs)
+        finally:
+            await service.drain()
+
+    return asyncio.run(main())
+
+
+class TestParseMix:
+    def test_colon_form_is_equal_weights(self):
+        assert parse_mix("prove:verify") == {"prove": 1, "verify": 1}
+
+    def test_weighted_form(self):
+        assert parse_mix("prove=3,verify=1") == {"prove": 3, "verify": 1}
+
+    def test_single_kind(self):
+        assert parse_mix("prove") == {"prove": 1}
+
+    @pytest.mark.parametrize("bad", ["", "sign", "prove=x", "prove=-1",
+                                     "prove=0"])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_mix(bad)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == 99.0
+
+
+class TestLoadReport:
+    def test_every_request_accounted(self):
+        svc = fast_service(max_queue=4, max_inflight=8)
+        report = run_load(svc, rps=40, duration_s=0.5, seed=1)
+        b = report.to_service_block()
+        req = b["requests"]
+        assert req["sent"] == report.sent == 20
+        assert (req["ok"] + req["shed"] + req["timeout"] + req["error"]
+                == req["sent"])
+        assert req["unresolved"] == 0
+        assert not report.unresolved
+
+    def test_shed_requests_are_typed_admission(self):
+        svc = fast_service(max_queue=1, max_inflight=2)
+        report = run_load(svc, rps=60, duration_s=0.5, seed=2)
+        shed = [r for r in report.results if r.status == "shed"]
+        assert shed, "a 1-deep queue at 60 rps must shed"
+        assert all(r.error_code == "admission" for r in shed)
+        assert all(r.error.startswith("error[admission]:") for r in shed)
+        assert report.to_service_block()["shed_rate"] > 0
+
+    def test_poisoned_verifies_are_rejected_not_errors(self):
+        svc = fast_service()
+        report = run_load(svc, rps=20, duration_s=0.5, seed=3,
+                          mix={"verify": 1}, bad_verify_pct=50)
+        assert report.rejected > 0
+        assert report.count("error") == 0
+        b = report.to_service_block()
+        assert b["requests"]["rejected"] == report.rejected
+        assert b["verify"]["isolated_bad"] >= report.rejected
+
+    def test_deadline_produces_timeouts(self):
+        svc = fast_service(size=64)
+        report = run_load(svc, rps=20, duration_s=0.5, seed=4,
+                          mix={"prove": 1}, deadline_s=0.001)
+        assert report.count("timeout") == report.sent
+        assert all(r.error_code == "timeout" for r in report.results)
+
+    def test_service_block_is_json_and_ledger_compatible(self):
+        svc = fast_service()
+        report = run_load(svc, rps=10, duration_s=0.3, seed=5)
+        block = report.to_service_block()
+        rec = make_record(kind="loadtest", curve="bn128", size=8,
+                          workload="exponentiate", seed=5, stages=[],
+                          service=block)
+        text = json.dumps(rec, sort_keys=True)
+        assert json.loads(text)["service"]["requests"]["sent"] == report.sent
+        for key in ("latency_s", "queue_wait_s", "throughput_rps",
+                    "shed_rate", "timeout_rate", "error_rate",
+                    "queue_depth", "breaker", "verify"):
+            assert key in block, key
+
+    def test_render_text_mentions_the_essentials(self):
+        svc = fast_service()
+        report = run_load(svc, rps=10, duration_s=0.3, seed=6)
+        text = report.render_text()
+        assert "p50" in text and "p99" in text
+        assert "shed_rate" in text
+        assert "throughput" in text
+
+    def test_request_story_is_seed_deterministic(self):
+        def kinds_for(seed):
+            svc = fast_service()
+            report = run_load(svc, rps=30, duration_s=0.4, seed=seed)
+            return [r.kind for r in sorted(report.results,
+                                           key=lambda r: abs(r.request_id))]
+
+        assert kinds_for(7) == kinds_for(7)
+        assert kinds_for(7) != kinds_for(8)
+
+    def test_stop_event_aborts_remaining_schedule(self):
+        svc = fast_service()
+
+        async def main():
+            await svc.start()
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            loop.call_later(0.2, stop.set)
+            try:
+                return await run_loadtest(svc, rps=10, duration_s=30,
+                                          seed=9, stop=stop)
+            finally:
+                await svc.drain()
+
+        report = asyncio.run(main())
+        assert report.sent < 300  # nowhere near the full 30s schedule
+        assert not report.unresolved

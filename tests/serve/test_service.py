@@ -1,0 +1,360 @@
+"""ProvingService contract tests: admission, deadlines, retry, breaker,
+coalescing/bisect isolation, and graceful drain.
+
+All async bodies run through ``asyncio.run`` inside synchronous tests so
+the suite needs no asyncio plugin.  Small cells (size 8–16) keep the
+compute cheap; the service's own behavior, not prover speed, is under
+test.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.errors import (
+    AdmissionError,
+    ArtifactCorruption,
+    ResourceExhausted,
+    TransientFault,
+    WorkerCrash,
+)
+from repro.resilience.faults import FaultSpec
+from repro.resilience.retry import RetryPolicy
+from repro.serve import CircuitBreaker, ProvingService
+
+
+def fast_service(**kwargs):
+    kwargs.setdefault("size", 8)
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=3, sleep=None))
+    kwargs.setdefault("breaker", CircuitBreaker(cooldown_s=0.01))
+    return ProvingService(**kwargs)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRoundTrips:
+    def test_prove_ok(self):
+        async def main():
+            async with fast_service() as svc:
+                return await svc.submit("prove")
+
+        result = run(main())
+        assert result.status == "ok"
+        assert result.proof_bytes > 0
+        assert result.attempts == 1
+        assert result.resolved_typed
+
+    def test_verify_ok_and_poisoned_rejected(self):
+        async def main():
+            async with fast_service() as svc:
+                good = await svc.submit("verify")
+                bad = await svc.submit(
+                    "verify", payload=svc.verify_payload(bad=True))
+                return good, bad
+
+        good, bad = run(main())
+        assert good.status == "ok" and good.accepted is True
+        assert bad.status == "ok" and bad.accepted is False
+        assert bad.resolved_typed
+
+    def test_unknown_kind_rejected(self):
+        async def main():
+            async with fast_service() as svc:
+                with pytest.raises(ValueError, match="unknown request kind"):
+                    svc.submit_nowait("sign")
+
+        run(main())
+
+    def test_submit_before_start_is_admission_error(self):
+        svc = fast_service()
+        with pytest.raises(AdmissionError):
+            svc.submit_nowait("prove")
+
+    def test_wrong_arity_publics_rejected_at_admission(self):
+        async def main():
+            async with fast_service() as svc:
+                proof, publics = svc.verify_payload()
+                with pytest.raises(ArtifactCorruption):
+                    svc.submit_nowait("verify",
+                                      payload=(proof, publics + [1]))
+
+        run(main())
+
+
+class TestAdmissionControl:
+    def test_queue_cap_sheds_typed(self):
+        async def main():
+            async with fast_service(max_queue=2, max_inflight=64) as svc:
+                futures, shed = [], 0
+                for _ in range(10):
+                    try:
+                        futures.append(svc.submit_nowait("prove"))
+                    except AdmissionError as exc:
+                        shed += 1
+                        assert exc.code == "admission"
+                        assert exc.one_line().startswith("error[admission]:")
+                results = await asyncio.gather(*futures)
+                return shed, results, svc.counts["shed"]
+
+        shed, results, counted = run(main())
+        assert shed > 0
+        assert counted == shed
+        assert all(r.status == "ok" for r in results)
+
+    def test_inflight_cap_sheds(self):
+        async def main():
+            async with fast_service(max_queue=100, max_inflight=3) as svc:
+                futures, shed = [], 0
+                for _ in range(8):
+                    try:
+                        futures.append(svc.submit_nowait("prove"))
+                    except AdmissionError:
+                        shed += 1
+                await asyncio.gather(*futures)
+                return shed, len(futures)
+
+        shed, admitted = run(main())
+        assert admitted == 3
+        assert shed == 5
+
+    def test_draining_service_sheds(self):
+        async def main():
+            svc = fast_service()
+            async with svc:
+                pass  # __aexit__ drains
+            with pytest.raises(AdmissionError, match="not running|draining"):
+                svc.submit_nowait("prove")
+
+        run(main())
+
+
+class TestDeadlines:
+    def test_expired_in_queue_resolves_timeout_without_compute(self):
+        async def main():
+            async with fast_service() as svc:
+                # A deadline far smaller than any prove wall time.
+                return await svc.submit("prove", deadline_s=1e-6)
+
+        result = run(main())
+        assert result.status == "timeout"
+        assert result.error_code == "timeout"
+        assert result.error.startswith("error[timeout]:")
+
+    def test_deadline_cancels_mid_compute(self):
+        async def main():
+            async with fast_service(size=64) as svc:
+                # Long enough to start computing, far shorter than a
+                # size-64 prove: the cooperative kernel polls must fire.
+                return await svc.submit("prove", deadline_s=0.01)
+
+        result = run(main())
+        assert result.status == "timeout"
+        assert result.resolved_typed
+
+    def test_default_deadline_applies(self):
+        async def main():
+            async with fast_service(default_deadline_s=1e-6) as svc:
+                return await svc.submit("prove")
+
+        assert run(main()).status == "timeout"
+
+    def test_verify_member_deadline_isolated_from_batch(self):
+        async def main():
+            async with fast_service(batch_window_s=0.05,
+                                    max_batch=4) as svc:
+                doomed = svc.submit_nowait("verify", deadline_s=1e-6)
+                healthy = svc.submit_nowait("verify")
+                return await asyncio.gather(doomed, healthy)
+
+        doomed, healthy = run(main())
+        assert doomed.status == "timeout"
+        assert healthy.status == "ok" and healthy.accepted is True
+
+
+class TestRetriesAndBreaker:
+    def test_transient_fault_is_retried(self):
+        async def main():
+            svc = fast_service()
+            await svc.start()
+            try:
+                plan = [FaultSpec("serve:prove", "transient", hit=1)]
+                with faults.injecting(plan):
+                    return await svc.submit("prove")
+            finally:
+                await svc.drain()
+
+        result = run(main())
+        assert result.status == "ok"
+        assert result.attempts == 2
+
+    def test_retry_budget_exhaustion_is_typed(self):
+        async def main():
+            svc = fast_service(retry=RetryPolicy(max_attempts=2, sleep=None))
+            await svc.start()
+            try:
+                plan = [FaultSpec("serve:prove", "transient", hit=h)
+                        for h in (1, 2)]
+                with faults.injecting(plan):
+                    return await svc.submit("prove")
+            finally:
+                await svc.drain()
+
+        result = run(main())
+        assert result.status == "error"
+        assert result.error_code == "transient"
+        assert result.attempts == 2
+        assert result.resolved_typed
+
+    def test_non_retryable_fault_fails_fast(self):
+        async def main():
+            svc = fast_service()
+            await svc.start()
+            try:
+                plan = [FaultSpec("serve:prove", "oom", hit=1)]
+                with faults.injecting(plan):
+                    return await svc.submit("prove")
+            finally:
+                await svc.drain()
+
+        result = run(main())
+        assert result.status == "error"
+        assert result.error_code == ResourceExhausted.code
+        assert result.attempts == 1
+
+    def test_worker_crashes_trip_breaker_to_degraded(self):
+        crashes = {"n": 0}
+
+        async def main():
+            svc = fast_service(
+                workers=2,
+                retry=RetryPolicy(max_attempts=5, sleep=None),
+                breaker=CircuitBreaker(threshold=2, cooldown_s=60.0))
+            real_compute = svc._compute_prove
+
+            def crashing_compute(use_pool, remaining, seed):
+                if use_pool:
+                    crashes["n"] += 1
+                    raise WorkerCrash("worker died", task="prove")
+                return real_compute(False, remaining, seed)
+
+            svc._compute_prove = crashing_compute
+            await svc.start()
+            try:
+                return await svc.submit("prove"), svc.breaker.state
+            finally:
+                await svc.drain()
+
+        result, state = run(main())
+        # Two pool attempts crash, the breaker opens, the next attempt
+        # runs degraded (serial) and succeeds.
+        assert result.status == "ok"
+        assert result.degraded is True
+        assert crashes["n"] == 2
+        assert state == "open"
+
+    def test_breaker_halfopen_probe_recloses(self):
+        t = {"now": 0.0}
+        breaker = CircuitBreaker(threshold=1, cooldown_s=10.0,
+                                 clock=lambda: t["now"])
+        assert breaker.allow_pool()
+        assert breaker.record_failure() is True
+        assert breaker.state == "open"
+        assert not breaker.allow_pool()
+        t["now"] = 11.0
+        assert breaker.state == "half-open"
+        assert breaker.allow_pool()       # the probe
+        assert not breaker.allow_pool()   # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.trips == 1
+
+
+class TestCoalescing:
+    def test_verify_requests_coalesce_into_one_batch(self):
+        async def main():
+            async with fast_service(batch_window_s=0.1, max_batch=8) as svc:
+                futures = [svc.submit_nowait("verify") for _ in range(4)]
+                return await asyncio.gather(*futures)
+
+        results = run(main())
+        assert all(r.status == "ok" and r.accepted is True for r in results)
+        assert all(r.batched == 4 for r in results)
+
+    def test_bisect_isolates_poisoned_members(self):
+        async def main():
+            async with fast_service(batch_window_s=0.1, max_batch=8) as svc:
+                futures = [
+                    svc.submit_nowait("verify",
+                                      payload=svc.verify_payload(bad=(i == 2)))
+                    for i in range(5)
+                ]
+                results = await asyncio.gather(*futures)
+                return results, svc.counts["isolated_bad"]
+
+        results, isolated = run(main())
+        accepted = [r.accepted for r in results]
+        assert accepted == [True, True, False, True, True]
+        assert all(r.status == "ok" for r in results)
+        assert isolated == 1
+
+    def test_batch_cap_respected(self):
+        async def main():
+            async with fast_service(batch_window_s=0.1, max_batch=2) as svc:
+                futures = [svc.submit_nowait("verify") for _ in range(5)]
+                return await asyncio.gather(*futures)
+
+        results = run(main())
+        assert all(r.batched <= 2 for r in results)
+
+
+class TestDrain:
+    def test_drain_resolves_everything_and_is_idempotent(self):
+        async def main():
+            svc = fast_service()
+            await svc.start()
+            futures = [svc.submit_nowait("prove") for _ in range(3)]
+            await svc.drain()
+            await svc.drain()  # idempotent
+            return await asyncio.gather(*futures), svc.outstanding
+
+        results, outstanding = run(main())
+        assert outstanding == 0
+        assert all(r.status == "ok" for r in results)
+
+    def test_drain_timeout_expires_queued_jobs(self):
+        async def main():
+            svc = fast_service(max_queue=50)
+            await svc.start()
+            futures = [svc.submit_nowait("prove") for _ in range(10)]
+            await svc.drain(timeout_s=0.01)
+            return await asyncio.gather(*futures)
+
+        results = run(main())
+        assert all(r.resolved_typed for r in results)
+        statuses = {r.status for r in results}
+        assert "timeout" in statuses  # the tail was drained out
+
+    def test_cancelled_future_does_not_wedge_drain(self):
+        async def main():
+            svc = fast_service()
+            await svc.start()
+            fut = svc.submit_nowait("prove")
+            fut.cancel()
+            await asyncio.wait_for(svc.drain(), timeout=30)
+            return svc.outstanding
+
+        assert run(main()) == 0
+
+    def test_stats_shape(self):
+        async def main():
+            async with fast_service() as svc:
+                await svc.submit("prove")
+                return svc.stats()
+
+        stats = run(main())
+        assert stats["counts"]["ok"] == 1
+        assert stats["breaker"]["state"] == "closed"
+        assert stats["queue_depth"] == 0

@@ -163,3 +163,115 @@ class TestSweepVerb:
         second = run_cli(*args, "--resume")
         assert second.returncode == 0
         assert "(resuming)" in second.stdout
+
+
+class TestTimeoutFlag:
+    def test_prove_timeout_is_typed(self, tmp_path):
+        result = run_cli("prove", "--exponent", "6", "--out", str(tmp_path),
+                         "--timeout", "0.000001")
+        assert_typed_failure(result, "timeout")
+
+    def test_verify_timeout_is_typed(self, artifacts):
+        result = run_cli("verify", str(artifacts), "--timeout", "0.000001")
+        assert_typed_failure(result, "timeout")
+
+    def test_sweep_timeout_is_typed(self, tmp_path):
+        result = run_cli("sweep", "--curves", "bn128", "--sizes", "8",
+                         "--checkpoint-dir", str(tmp_path),
+                         "--timeout", "0.000001")
+        assert_typed_failure(result, "timeout")
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "abc"])
+    def test_bad_timeout_rejected_at_parse_time(self, bad):
+        result = run_cli("prove", "--exponent", "4", "--timeout", bad)
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+        assert "timeout" in result.stderr.lower()
+
+    def test_generous_timeout_still_succeeds(self, tmp_path):
+        result = run_cli("prove", "--exponent", "4", "--out", str(tmp_path),
+                         "--timeout", "300")
+        assert result.returncode == 0, (result.stdout, result.stderr)
+
+
+class TestLoadtestVerb:
+    def test_smoke_run_emits_service_block(self):
+        result = run_cli("loadtest", "--rps", "20", "--duration", "0.3",
+                         "--size", "8", "--no-ledger", "--json")
+        assert result.returncode == 0, (result.stdout, result.stderr)
+        record = json.loads(result.stdout)
+        assert record["schema"] == 4
+        block = record["service"]
+        assert block["requests"]["sent"] >= 1
+        assert block["requests"]["unresolved"] == 0
+        assert "p99" in block["latency_s"]
+
+    def test_text_report_and_ledger_append(self, tmp_path):
+        path = tmp_path / "loadtest.jsonl"
+        result = run_cli("loadtest", "--rps", "10", "--duration", "0.3",
+                         "--size", "8", "--ledger", str(path))
+        assert result.returncode == 0, (result.stdout, result.stderr)
+        assert "throughput" in result.stdout
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["service"]["requests"]["sent"] >= 1
+
+    @pytest.mark.parametrize("bad", ["sign", "prove=x", ""])
+    def test_bad_mix_rejected_at_parse_time(self, bad):
+        result = run_cli("loadtest", "--mix", bad)
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_bad_rps_rejected_at_parse_time(self, bad):
+        result = run_cli("loadtest", "--rps", bad)
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+
+
+class TestChaosUnderLoad:
+    def test_smoke_run_is_all_typed(self):
+        result = run_cli("chaos", "--under-load", "--seed", "0",
+                         "--faults", "3", "--size", "8",
+                         "--rps", "20", "--duration", "0.5", "--json")
+        assert result.returncode == 0, (result.stdout, result.stderr)
+        report = json.loads(result.stdout)
+        assert report["status"] == "all-typed"
+        assert report["violations"] == []
+        assert report["service"]["requests"]["unresolved"] == 0
+
+    def test_text_report_shows_outcome(self):
+        result = run_cli("chaos", "--under-load", "--seed", "1",
+                         "--faults", "2", "--size", "8",
+                         "--rps", "10", "--duration", "0.5")
+        assert result.returncode == 0, (result.stdout, result.stderr)
+        assert "chaos under load" in result.stdout
+        assert "outcome: all-typed" in result.stdout
+
+
+class TestServeVerb:
+    def test_sigterm_drains_clean(self):
+        import signal
+        import time
+
+        env = dict(os.environ, PYTHONPATH=SRC, REPRO_CACHE="0",
+                   PYTHONUNBUFFERED="1")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--size", "8",
+             "--rps", "10", "--duration", "60"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=env, cwd=REPO)
+        try:
+            line = proc.stdout.readline()
+            assert "serving:" in line, line
+            time.sleep(0.5)  # let some traffic flow
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, (line, stdout, stderr)
+        assert "draining:" in stdout
+        assert "drained clean:" in stdout
+        assert "Traceback" not in stderr
