@@ -2,7 +2,8 @@
 
 .PHONY: install test lint codelint bench artifacts slow clean profile \
 	perf-check chaos deep-profile drift-check refresh-baseline \
-	parallel-test parallel-check parallel-report measured serve loadtest
+	parallel-test parallel-check parallel-report measured serve loadtest \
+	pareto capacity-check refresh-capacity-baseline
 
 # Seeds for the chaos smoke (override: make chaos CHAOS_SEEDS="0 7 42").
 CHAOS_SEEDS ?= 0 1 2 3
@@ -111,7 +112,7 @@ serve:
 		--duration $(SERVE_DURATION)
 
 # Open-loop load smoke + chaos-under-load gate: p50/p95/p99 into the
-# ledger's schema-v4 service block; every request must resolve typed
+# ledger's schema-v5 service block; every request must resolve typed
 # even with seeded faults firing inside the live service.
 LOAD_RPS ?= 16
 LOAD_DURATION ?= 3
@@ -124,6 +125,36 @@ loadtest:
 			|| exit 1; \
 	done
 	PYTHONPATH=src pytest -x -q tests/serve
+
+# Capacity sweep -> throughput-vs-p99 frontier + knee recommendation
+# (docs/CAPACITY.md).  Resumable: interrupted sweeps replay finished
+# cells from checksummed checkpoints; make pareto PARETO_FLAGS=--fresh
+# discards them.
+CAPACITY_LEDGER ?= results/runs/capacity.jsonl
+CAPACITY_BASELINE ?= results/runs/baseline-capacity.jsonl
+PARETO_FLAGS ?=
+pareto:
+	PYTHONPATH=src python -m repro pareto --workers 1,2 \
+		--batch-windows 0,0.05 --queue-depths 8,32 --rps 8 \
+		--duration 2 --size 32 --seed 7 \
+		--ledger $(CAPACITY_LEDGER) $(PARETO_FLAGS)
+
+# Capacity SLO gate: re-measure the committed baseline's configurations
+# fresh and fail on p99 regression / throughput collapse / frontier
+# collapse (docs/CAPACITY.md).  Loose threshold: serving latency is
+# noisy across machines.
+CAPACITY_THRESHOLD ?= 50
+capacity-check:
+	PYTHONPATH=src python -m repro capacity-check $(CAPACITY_BASELINE) \
+		--threshold $(CAPACITY_THRESHOLD)
+
+# Regenerate the committed capacity baseline after an intentional
+# serving-layer change (same workflow as refresh-baseline).
+refresh-capacity-baseline:
+	rm -f $(CAPACITY_BASELINE)
+	PYTHONPATH=src python -m repro pareto --workers 1 --batch-windows 0 \
+		--queue-depths 8,32 --rps 8 --duration 2 --size 32 --seed 7 \
+		--fresh --ledger $(CAPACITY_BASELINE)
 
 chaos:
 	@for seed in $(CHAOS_SEEDS); do \

@@ -160,6 +160,38 @@ def _parse_workers(text):
     return workers
 
 
+def _parse_positive_ints(text):
+    """Comma-separated positive integers, e.g. queue depths ``8,32``."""
+    try:
+        values = tuple(int(s) for s in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad integer list {text!r}") from None
+    if not values or any(n < 1 for n in values):
+        raise argparse.ArgumentTypeError(f"bad integer list {text!r}")
+    return values
+
+
+def _parse_floats(text):
+    """Comma-separated non-negative floats, e.g. batch windows ``0,0.05``."""
+    try:
+        values = tuple(float(s) for s in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad float list {text!r}") from None
+    if not values or any(v < 0 for v in values):
+        raise argparse.ArgumentTypeError(f"bad float list {text!r}")
+    return values
+
+
+def _parse_positive_floats(text):
+    """Comma-separated positive floats, e.g. offered rates ``4,8,16``."""
+    values = _parse_floats(text)
+    if any(v <= 0 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"expected positive values, got {text!r}")
+    return values
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -510,7 +542,7 @@ def build_parser():
     loadtest = sub.add_parser(
         "loadtest",
         help="open-loop load generator against the proving service; "
-             "appends a schema-v4 'service' ledger block "
+             "appends a schema-v5 'service' ledger block "
              "(docs/SERVING.md)",
     )
     loadtest.add_argument("--rps", type=_positive_float, default=8.0,
@@ -552,6 +584,86 @@ def build_parser():
                           help="do not append a ledger record")
     loadtest.add_argument("--label", default=None,
                           help="free-form label stored in the record")
+    loadtest.add_argument("--request-trace", default=None, metavar="PATH",
+                          help="also write the per-request phase lanes as "
+                               "chrome-trace JSON (one pid lane per "
+                               "request class; docs/CAPACITY.md)")
+
+    pareto = sub.add_parser(
+        "pareto",
+        help="seeded capacity sweep over workers x batch windows x queue "
+             "depths x offered rps; prints the throughput-vs-p99 "
+             "frontier with a knee recommendation and appends schema-v5 "
+             "'capacity' ledger records (docs/CAPACITY.md)",
+    )
+    pareto.add_argument("--workers", type=_parse_workers, default=(1,),
+                        metavar="N,N,...",
+                        help="worker counts to sweep (default 1)")
+    pareto.add_argument("--batch-windows", type=_parse_floats,
+                        default=(0.0, 0.005), metavar="S,S,...",
+                        help="verify batch windows in seconds "
+                             "(default 0,0.005)")
+    pareto.add_argument("--queue-depths", type=_parse_positive_ints,
+                        default=(16,), metavar="N,N,...",
+                        help="admission queue depths (default 16)")
+    pareto.add_argument("--rps", type=_parse_positive_floats, default=(8.0,),
+                        metavar="R,R,...",
+                        help="offered request rates (default 8)")
+    pareto.add_argument("--duration", type=_positive_float, default=2.0,
+                        metavar="SECONDS",
+                        help="per-cell load duration (default 2)")
+    pareto.add_argument("--curve", type=_curve_name, default="bn128")
+    pareto.add_argument("--size", type=_positive_int, default=32,
+                        help="constraint count of the served circuit "
+                             "(default 32)")
+    pareto.add_argument("--workload", default="exponentiate",
+                        help="workload family "
+                             "(repro.harness.circuits.WORKLOADS)")
+    pareto.add_argument("--seed", type=int, default=0)
+    pareto.add_argument("--mix", type=_traffic_mix, default="prove:verify",
+                        help="traffic mix per cell (default prove:verify)")
+    pareto.add_argument("--deadline", type=_positive_float, default=None,
+                        metavar="SECONDS", help="per-request deadline")
+    pareto.add_argument("--max-inflight", type=_positive_int, default=64,
+                        help="in-flight cap per cell (default 64)")
+    pareto.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="checkpoint base directory "
+                             "(default: results/checkpoints)")
+    pareto.add_argument("--fresh", action="store_true",
+                        help="re-measure every cell, ignoring checkpoints "
+                             "(resume is the default)")
+    pareto.add_argument("--ledger", default=None, metavar="PATH",
+                        help="capacity ledger to append to "
+                             "(default: results/runs/capacity.jsonl)")
+    pareto.add_argument("--no-ledger", action="store_true",
+                        help="do not append ledger records")
+    pareto.add_argument("--json", action="store_true", dest="as_json")
+
+    capcheck = sub.add_parser(
+        "capacity-check",
+        help="capacity SLO gate: compare capacity ledger cells against a "
+             "committed baseline; exit 1 when p99 regresses or the "
+             "frontier collapses (docs/CAPACITY.md)",
+    )
+    capcheck.add_argument("base", help="baseline capacity ledger (JSONL)")
+    capcheck.add_argument("--new", default=None, metavar="PATH",
+                          help="candidate capacity ledger; without it the "
+                               "baseline's configurations are re-measured "
+                               "fresh on this machine")
+    capcheck.add_argument("--threshold", type=float, default=50.0,
+                          metavar="PCT",
+                          help="allowed p99 growth / throughput drop per "
+                               "cell in percent (default 50 — serving "
+                               "latency is noisier than stage wall time)")
+    capcheck.add_argument("--min-delta", type=float, default=0.005,
+                          metavar="SECONDS",
+                          help="ignore p99 growth smaller than this many "
+                               "seconds (noise floor, default 0.005)")
+    capcheck.add_argument("--duration", type=_positive_float, default=None,
+                          metavar="SECONDS",
+                          help="re-measure override: per-cell duration "
+                               "(default: each baseline cell's own)")
+    capcheck.add_argument("--json", action="store_true", dest="as_json")
 
     pcheck = sub.add_parser(
         "parallel-check",
@@ -606,7 +718,11 @@ def cmd_list(_args, out=print):
     out("      'repro serve' (fault-tolerant async proving service), "
         "'repro loadtest' (open-loop latency/shedding report),")
     out("      'repro chaos --under-load' (seeded faults against live "
-        "service traffic)")
+        "service traffic),")
+    out("      'repro pareto' (capacity sweep: throughput-vs-p99 frontier "
+        "+ knee + phase breakdown),")
+    out("      'repro capacity-check' (capacity SLO gate vs a committed "
+        "baseline ledger)")
     return 0
 
 
@@ -1112,6 +1228,12 @@ def cmd_loadtest(args, out=print):
     obs_format.emit_record(record, args.as_json, out, render=[
         load.render_text,
     ])
+    if args.request_trace:
+        from repro.perf.export import requests_to_chrome_trace
+
+        obs_format.write_artifact(
+            args.request_trace, requests_to_chrome_trace(load.results),
+            out, "request-trace", quiet=args.as_json)
     if not args.no_ledger:
         path = args.ledger or os.path.join(ledger.DEFAULT_DIR,
                                            "loadtest.jsonl")
@@ -1119,6 +1241,81 @@ def cmd_loadtest(args, out=print):
     # 1 on a typed-resolution breach: the loadtest doubles as a liveness
     # gate for the serving layer.
     return 1 if load.unresolved else 0
+
+
+def cmd_pareto(args, out=print):
+    from repro.obs import ledger
+    from repro.obs.capacity import run_capacity_sweep
+
+    ledger_path = None
+    if not args.no_ledger:
+        ledger_path = args.ledger or os.path.join(ledger.DEFAULT_DIR,
+                                                  "capacity.jsonl")
+    total = (len(args.workers) * len(args.batch_windows)
+             * len(args.queue_depths) * len(args.rps))
+    if not args.as_json:
+        out(f"capacity sweep: {total} cell(s) — "
+            f"workers={','.join(map(str, args.workers))} "
+            f"batch_windows={','.join(f'{w:g}' for w in args.batch_windows)} "
+            f"queue_depths={','.join(map(str, args.queue_depths))} "
+            f"rps={','.join(f'{r:g}' for r in args.rps)} "
+            f"duration={args.duration:g}s seed={args.seed}"
+            + (" (fresh)" if args.fresh else " (resumable)"))
+
+    def progress(i, n, cell):
+        if not args.as_json:
+            out(f"  [{i}/{n}] {cell.config_label}: "
+                f"{cell.throughput_rps:.2f} ok/s "
+                f"p99={cell.p99_s * 1e3:.1f}ms [{cell.diagnosis}]"
+                + (" (resumed)" if cell.resumed else ""))
+
+    report = run_capacity_sweep(
+        workers_list=args.workers, batch_windows=args.batch_windows,
+        queue_depths=args.queue_depths, rps_list=args.rps,
+        duration_s=args.duration, curve=args.curve, size=args.size,
+        workload=args.workload, seed=args.seed, mix=args.mix,
+        deadline_s=args.deadline, max_inflight=args.max_inflight,
+        checkpoint_dir=args.checkpoint_dir, resume=not args.fresh,
+        ledger_path=ledger_path, progress=progress)
+    if args.as_json:
+        out(report.to_json(indent=2))
+    else:
+        out("")
+        out(report.render_text())
+        if ledger_path:
+            out(f"ledger: capacity records in {ledger_path}")
+        out(f"checkpoints: {report.checkpoint_dir}")
+    # 1 when nothing completed or the phase accounting broke: a sweep
+    # whose breakdowns do not add up diagnoses nothing.
+    return 0 if report.ok else 1
+
+
+def cmd_capacity_check(args, out=print):
+    from repro.obs import ledger
+    from repro.obs.capacity import capacity_check, remeasure_baseline
+
+    try:
+        base = ledger.read_ledger(args.base)
+    except OSError as exc:
+        out(f"cannot read ledger: {exc}")
+        return 2
+    if args.new is not None:
+        try:
+            new = ledger.read_ledger(args.new)
+        except OSError as exc:
+            out(f"cannot read ledger: {exc}")
+            return 2
+    else:
+        if not args.as_json:
+            out("capacity-check: re-measuring the baseline "
+                "configuration(s) fresh ...")
+        new = remeasure_baseline(base, duration_s=args.duration)
+    report = capacity_check(base, new, threshold_pct=args.threshold,
+                            min_delta_s=args.min_delta)
+    out(report.to_json(indent=2) if args.as_json else report.render_text())
+    if not report.checks:
+        return 2
+    return 0 if report.ok else 1
 
 
 def cmd_parallel_check(args, out=print):
@@ -1298,6 +1495,7 @@ def main(argv=None, out=print):
                "report": cmd_report, "perf-check": cmd_perf_check,
                "sweep": cmd_sweep, "chaos": cmd_chaos,
                "serve": cmd_serve, "loadtest": cmd_loadtest,
+               "pareto": cmd_pareto, "capacity-check": cmd_capacity_check,
                "parallel-check": cmd_parallel_check,
                "parallel-report": cmd_parallel_report}[args.command]
     try:

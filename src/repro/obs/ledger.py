@@ -12,13 +12,13 @@ unless a ledger is installed (:func:`install`, :func:`recording_to`, or
 the ``REPRO_LEDGER=<path>`` environment variable at import time), so the
 test suite's thousands of workflow runs write nothing.
 
-Record schema (version 4) — see ``docs/OBSERVABILITY.md`` for a worked
+Record schema (version 5) — see ``docs/OBSERVABILITY.md`` for a worked
 example::
 
     {
-      "schema": 4,
+      "schema": 5,
       "kind": "profile" | "workflow" | "profile_run" | "deep-profile"
-              | "loadtest" | "serve",
+              | "loadtest" | "serve" | "capacity",
       "ts": <unix seconds>,
       "label": <free-form or null>,
       "machine": {...machine_fingerprint()...},
@@ -30,17 +30,20 @@ example::
       "metrics": {...MetricsRegistry.snapshot()...} | null,
       "profile": {...DeepProfiler.to_profile_block()...} | null,
       "workers": {...WorkerTelemetry.to_workers_block()...} | null,
-      "service": {...LoadReport.to_service_block()...} | null
+      "service": {...LoadReport.to_service_block()...} | null,
+      "capacity": {...CapacityCell.to_capacity_block()...} | null
     }
 
 Version history: v1 had no ``profile`` field and no lifted per-stage
 ``cpu_s``/``rss_peak_delta_kb``/``gc_collections``; v2 had no
 ``workers`` block (cross-process worker telemetry, PR 7); v3 had no
-``service`` block (proving-service load reports, :mod:`repro.serve`).
-Readers treat every versioned field as optional, so v1–v3 ledgers keep
-loading and ``perf-check`` works across mixed-version ledgers
-(``--metric cpu``/``rss`` simply skips v1 cells whose stage records
-carry no span).
+``service`` block (proving-service load reports, :mod:`repro.serve`);
+v4 had no ``capacity`` block (``pareto`` sweep cells,
+:mod:`repro.obs.capacity`) and its ``service`` block carried no
+``phases`` breakdown or per-distribution ``n``.  Readers treat every
+versioned field as optional, so v1–v4 ledgers keep loading and
+``perf-check`` works across mixed-version ledgers (``--metric cpu``/
+``rss`` simply skips v1 cells whose stage records carry no span).
 """
 
 from __future__ import annotations
@@ -63,7 +66,7 @@ __all__ = [
     "uninstall",
 ]
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Conventional ledger directory (relative to the working directory).
 DEFAULT_DIR = os.path.join("results", "runs")
@@ -93,8 +96,9 @@ class Ledger:
 
 
 def make_record(kind, curve, size, workload, stages, seed=None, metrics=None,
-                label=None, profile=None, workers=None, service=None):
-    """Assemble one schema-v4 record.
+                label=None, profile=None, workers=None, service=None,
+                capacity=None):
+    """Assemble one schema-v5 record.
 
     *stages* is a list of stage dicts (``StageResult.to_record()`` shape);
     *metrics* a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`;
@@ -103,7 +107,9 @@ def make_record(kind, curve, size, workload, stages, seed=None, metrics=None,
     :meth:`~repro.obs.worker.WorkerTelemetry.to_workers_block` (``None``
     for serial or untelemetered runs); *service* a
     :meth:`~repro.serve.loadgen.LoadReport.to_service_block` (``None``
-    for runs that did not go through the proving service).
+    for runs that did not go through the proving service); *capacity* a
+    :meth:`~repro.obs.capacity.CapacityCell.to_capacity_block` (``None``
+    outside ``pareto`` sweep cells).
     """
     fp = machine_fingerprint()
     return {
@@ -123,6 +129,7 @@ def make_record(kind, curve, size, workload, stages, seed=None, metrics=None,
         "profile": profile,
         "workers": workers,
         "service": service,
+        "capacity": capacity,
     }
 
 

@@ -9,8 +9,9 @@ one (each stage on its own pid track), ``spans_to_chrome_trace`` renders
 a *measured* :mod:`repro.obs.spans` tree on real wall-clock time (worker
 subtrees on their own tid lanes), ``worker_tasks_to_chrome_trace``
 renders a ledger ``workers`` block with one pid lane per worker process,
-and ``counters_to_csv`` dumps the primitive counters for spreadsheet
-workflows.
+``requests_to_chrome_trace`` renders a load run's per-request phase
+breakdowns with one pid lane per request class, and ``counters_to_csv``
+dumps the primitive counters for spreadsheet workflows.
 
 The deep profiler's collapsed stacks (:mod:`repro.obs.prof`) export two
 ways: ``collapsed_to_text`` emits the classic ``flamegraph.pl`` /
@@ -33,6 +34,7 @@ from repro.perf.costmodel import aggregate
 __all__ = [
     "collapsed_to_text",
     "counters_to_csv",
+    "requests_to_chrome_trace",
     "spans_to_chrome_trace",
     "stages_to_chrome_trace",
     "to_chrome_trace",
@@ -277,6 +279,65 @@ def worker_tasks_to_chrome_trace(workers_block):
             "workers": workers_block.get("workers"),
             "utilization": workers_block.get("utilization"),
             "imbalance": workers_block.get("imbalance"),
+        },
+    }, indent=1)
+
+
+def requests_to_chrome_trace(results):
+    """Render a load run's per-request phase breakdowns
+    (:class:`~repro.serve.jobs.JobResult` objects carrying ``phases`` /
+    ``start_s``) as Trace Event JSON (a string).
+
+    One **pid lane per request class** (``prove`` / ``verify``, sorted)
+    and one tid per request within its class, so Perfetto shows each
+    class's requests stacked side by side on the service's shared
+    timeline (``start_s`` offsets from service start).  Every request
+    gets a parent bar spanning ``total_s`` plus one sub-bar per recorded
+    phase.  Phase bars are laid out sequentially in canonical
+    :data:`~repro.serve.jobs.PHASES` order — the durations are the
+    *additive* accounting buckets, so a retried request's two compute
+    attempts render as one consolidated ``compute`` bar, not the exact
+    interleaving.  Untracked results (client-side sheds with no phase
+    dict) are skipped.
+    """
+    from repro.serve.jobs import PHASES
+
+    traced = [r for r in results if r.phases]
+    lanes = _lane_ids({r.kind for r in traced})
+    events = []
+    names = {}
+    for r in sorted(traced, key=lambda r: (r.kind, r.request_id)):
+        pid, tid = lanes[r.kind], r.request_id
+        names[(pid, tid)] = f"request {r.request_id}"
+        events.append(_event(
+            f"{r.kind} #{r.request_id} [{r.status}]",
+            r.start_s * 1e6, r.total_s * 1e6, pid, tid, {
+                "status": r.status,
+                "error_code": r.error_code,
+                "attempts": r.attempts,
+                "batched": r.batched,
+                "degraded": r.degraded,
+                "phase_error_s": round(r.phase_error(), 9),
+                **({"compute_detail": r.compute_detail}
+                   if r.compute_detail else {}),
+            }))
+        cursor = r.start_s
+        for phase in PHASES:
+            dur = r.phases.get(phase, 0.0)
+            if dur <= 0:
+                continue
+            events.append(_event(phase, cursor * 1e6, dur * 1e6, pid, tid))
+            cursor += dur
+    events.extend(_lane_names("process_name",
+                              {pid: kind for kind, pid in lanes.items()}))
+    events.extend(_lane_names("thread_name", names))
+    return json.dumps({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.serve",
+            "requests": len(traced),
+            "classes": sorted(lanes),
         },
     }, indent=1)
 

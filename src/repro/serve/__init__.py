@@ -11,17 +11,21 @@ live traffic (``chaos --under-load``).  See docs/SERVING.md.
 
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.chaosload import ChaosLoadReport, run_chaos_load
-from repro.serve.jobs import KINDS, STATUSES, Job, JobResult
+from repro.serve.jobs import KINDS, PHASES, STATUSES, Job, JobResult
 from repro.serve.loadgen import LoadReport, parse_mix, run_loadtest
-from repro.serve.service import SERVE_SITES, ProvingService
+from repro.serve.pkcache import PKCache
+from repro.serve.service import ARTIFACT_CACHE, SERVE_SITES, ProvingService
 
 __all__ = [
+    "ARTIFACT_CACHE",
     "ChaosLoadReport",
     "CircuitBreaker",
     "Job",
     "JobResult",
     "KINDS",
     "LoadReport",
+    "PHASES",
+    "PKCache",
     "ProvingService",
     "SERVE_SITES",
     "STATUSES",

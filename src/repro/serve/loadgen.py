@@ -26,7 +26,7 @@ import random
 import time
 
 from repro.resilience.errors import AdmissionError, ReproError, classify
-from repro.serve.jobs import JobResult
+from repro.serve.jobs import PHASES, JobResult
 
 __all__ = ["LoadReport", "parse_mix", "run_loadtest"]
 
@@ -65,18 +65,38 @@ def parse_mix(text):
 
 
 def percentile(sorted_values, p):
-    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    """Nearest-rank percentile of an ascending list (0.0 when empty).
+
+    The contract, pinned exactly (tests/serve/test_loadgen.py):
+
+    - rank is ``max(1, ceil(p/100 * n))`` — the classic nearest-rank
+      definition, with the float product rounded at the 9th decimal so
+      binary noise (``0.95 * 20 -> 19.000000000000004``-style) cannot
+      shift a rank;
+    - 1-sample sets return that sample for every p;
+    - 2-sample sets return the *lower* sample for p50 and the upper for
+      p95/p99 (nearest-rank takes an actual sample; it never
+      interpolates, so tiny result sets are coarse but honest);
+    - the empty set returns the 0.0 sentinel — callers that serialize
+      distributions carry an explicit ``n`` so a sentinel 0.0 is
+      distinguishable from a measured 0.0 (:func:`_dist`).
+    """
     if not sorted_values:
         return 0.0
-    rank = math.ceil(p / 100.0 * len(sorted_values))
-    return sorted_values[max(0, min(len(sorted_values) - 1, rank - 1))]
+    rank = max(1, math.ceil(round(p / 100.0 * len(sorted_values), 9)))
+    return sorted_values[min(len(sorted_values) - 1, rank - 1)]
 
 
 def _dist(values):
+    """Summary distribution of *values*; ``n`` makes the empty-set
+    sentinel explicit: ``n == 0`` means "no samples" and every other
+    field is the 0.0 sentinel, not a measurement."""
     values = sorted(values)
     if not values:
-        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+        return {"n": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0,
+                "max": 0.0}
     return {
+        "n": len(values),
         "p50": round(percentile(values, 50), 6),
         "p95": round(percentile(values, 95), 6),
         "p99": round(percentile(values, 99), 6),
@@ -134,8 +154,33 @@ class LoadReport:
     def _rate(self, n):
         return round(n / self.sent, 6) if self.sent else 0.0
 
+    def phase_breakdown(self):
+        """Aggregate per-request phase accounting over every result that
+        carries a phase dict (i.e. every request that entered the
+        service; client-side sheds are untracked by design).
+
+        Returns ``{"n", "mean_s": {phase: mean}, "share": {phase:
+        fraction of tracked mean total}, "max_abs_error_s"}`` where the
+        last field is the worst violation of the additive invariant
+        (phases sum to ``total_s``) seen in this run.
+        """
+        tracked = [r for r in self.results if r.phases]
+        if not tracked:
+            return {"n": 0, "mean_s": {}, "share": {},
+                    "max_abs_error_s": 0.0}
+        mean_s = {}
+        for ph in PHASES:
+            mean_s[ph] = round(
+                sum(r.phases.get(ph, 0.0) for r in tracked) / len(tracked), 6)
+        total = sum(mean_s.values())
+        share = {ph: (round(v / total, 4) if total > 0 else 0.0)
+                 for ph, v in mean_s.items()}
+        max_err = max(abs(r.phase_error()) for r in tracked)
+        return {"n": len(tracked), "mean_s": mean_s, "share": share,
+                "max_abs_error_s": round(max_err, 9)}
+
     def to_service_block(self):
-        """The schema-v4 ledger ``service`` block."""
+        """The ledger ``service`` block (schema v4; v5 adds ``phases``)."""
         ok_lat = [r.total_s for r in self.results if r.status == "ok"]
         ok_wait = [r.queue_wait_s for r in self.results if r.status == "ok"]
         depths = self.depth_samples or [0]
@@ -178,6 +223,7 @@ class LoadReport:
                 "isolated_bad": counts.get("isolated_bad", 0),
             },
             "breaker": self.stats.get("breaker"),
+            "phases": self.phase_breakdown(),
         }
 
     def render_text(self):
@@ -208,6 +254,14 @@ class LoadReport:
             f"coalesced={b['verify']['coalesced']} "
             f"isolated_bad={b['verify']['isolated_bad']}",
         ]
+        ph = b["phases"]
+        if ph["n"]:
+            parts = " ".join(f"{name}={ph['mean_s'][name] * 1e3:.1f}ms"
+                             for name in PHASES
+                             if ph["mean_s"].get(name, 0.0) > 0)
+            lines.append(f"  phases     {parts or 'n/a'} "
+                         f"(n={ph['n']}, max|err|="
+                         f"{ph['max_abs_error_s'] * 1e3:.3f}ms)")
         if b["error_codes"]:
             codes = " ".join(f"{k}={v}"
                              for k, v in sorted(b["error_codes"].items()))

@@ -32,6 +32,19 @@ hangs:
   lets in-flight jobs finish or deadline-out, then closes the worker
   pool gracefully (``WorkerPool.close(graceful=True)``), which is what
   the CLI ``serve`` verb runs on SIGTERM.
+- **Per-request phase tracing** — every transition of a request's life
+  marks the job's phase clock (:meth:`~repro.serve.jobs.Job.mark`), so
+  each :class:`JobResult` resolves carrying an *additive* latency
+  breakdown over :data:`~repro.serve.jobs.PHASES`:
+  ``admission -> queue_wait -> coalesce_delay -> retry_backoff ->
+  compute -> settle``, with ``repro_serve_phase_<phase>_seconds``
+  histograms in the metrics registry and — when the PR 7 worker
+  collector is installed — a worker-side split of the compute phase.
+  The phases partition the request lifetime by construction, so their
+  sum equals ``total_s`` within tolerance on every resolution path;
+  the capacity sweep (:mod:`repro.obs.capacity`) diagnoses each
+  configuration as queue-, compute- or coalescing-bound from exactly
+  this breakdown.
 
 Execution model: one dedicated compute thread (the GIL makes CPU-bound
 threads pointless anyway; real parallelism comes from the worker pool
@@ -65,8 +78,9 @@ from repro.resilience.errors import (
 from repro.resilience.retry import RetryPolicy
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.jobs import KINDS, Job, JobResult
+from repro.serve.pkcache import PKCache
 
-__all__ = ["ProvingService", "SERVE_SITES"]
+__all__ = ["ARTIFACT_CACHE", "ProvingService", "SERVE_SITES"]
 
 #: Fault-injection sites checked inside the service's compute closures
 #: (the chaos-under-load schedule draws from these plus the kernel sites
@@ -77,9 +91,11 @@ SERVE_SITES = ("serve:prove", "serve:verify")
 _STOP = object()
 
 #: Per-process proving-key cache: (curve, workload, size, seed) ->
-#: prepared artifacts, so several services in one process (loadtest then
-#: chaos) pay for compile/setup/witness once.
-_ARTIFACTS = {}
+#: prepared artifacts, so several services in one process (a loadtest
+#: then a chaos run, or every cell of a capacity sweep) pay for
+#: compile/setup/witness once per cell — LRU-bounded with hit/miss/
+#: eviction counters (:mod:`repro.serve.pkcache`).
+ARTIFACT_CACHE = PKCache()
 
 
 class ProvingService:
@@ -144,6 +160,7 @@ class ProvingService:
         self._batch_seq = 0
         self._started = False
         self._draining = False
+        self._t0 = 0.0
         # Artifacts of the served cell (filled by start()).
         self._curve_obj = None
         self._circuit = None
@@ -161,6 +178,8 @@ class ProvingService:
         if self._started:
             return self
         loop = asyncio.get_running_loop()
+        # Timeline origin for JobResult.start_s (trace-export x axis).
+        self._t0 = time.perf_counter()
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve")
         await loop.run_in_executor(self._executor, self._build_artifacts)
@@ -192,9 +211,7 @@ class ProvingService:
         )
         from repro.harness.circuits import build_workload
 
-        key = (self.curve, self.workload, self.size, self.seed)
-        art = _ARTIFACTS.get(key)
-        if art is None:
+        def build():
             curve = get_curve(self.curve)
             builder, inputs = build_workload(self.workload, curve, self.size)
             circuit = compile_circuit(builder)
@@ -204,10 +221,12 @@ class ProvingService:
             publics = public_inputs(circuit, witness)
             proof0 = prove(pk, circuit, witness,
                            random.Random(f"serve:proof0:{self.seed}"))
-            art = (curve, circuit, pk, vk, witness, publics, proof0)
-            _ARTIFACTS[key] = art
+            return (curve, circuit, pk, vk, witness, publics, proof0)
+
+        key = (self.curve, self.workload, self.size, self.seed)
         (self._curve_obj, self._circuit, self._pk, self._vk,
-         self._witness, self._publics, self._proof0) = art
+         self._witness, self._publics, self._proof0) = \
+            ARTIFACT_CACHE.get(key, build)
 
     async def drain(self, timeout_s=None):
         """Stop admitting, let in-flight jobs finish or deadline-out,
@@ -249,6 +268,10 @@ class ProvingService:
             if job is _STOP:
                 queue.put_nowait(_STOP)
                 return
+            if job.accounted:
+                continue
+            # The job sat in the queue from admission until this flush.
+            job.mark("queue_wait")
             exc = StageTimeout(
                 f"request {job.request_id} drained before execution",
                 stage="serve:drain")
@@ -277,6 +300,9 @@ class ProvingService:
         arity are rejected up front with ``error[corrupt]`` — a poisoned
         request must not be able to take a whole batch down later.
         """
+        # Phase origin: the admission phase spans from here to enqueue,
+        # and total_s (elapsed from admitted_ts) then covers every phase.
+        t_enter = time.perf_counter()
         if kind not in KINDS:
             raise ValueError(f"unknown request kind {kind!r}; "
                              f"choose from {KINDS}")
@@ -307,9 +333,11 @@ class ProvingService:
         self._next_id += 1
         job = Job(request_id=self._next_id, kind=kind,
                   future=asyncio.get_running_loop().create_future(),
-                  deadline_s=deadline_s, payload=payload)
+                  deadline_s=deadline_s, admitted_ts=t_enter,
+                  payload=payload)
         self._outstanding += 1
         (self._prove_q if kind == "prove" else self._verify_q).put_nowait(job)
+        job.mark("admission")
         if m is not None:
             m.set_gauge("repro_serve_queue_depth", self.queue_depth)
         return job.future
@@ -334,6 +362,7 @@ class ProvingService:
                 return
             if job.accounted:
                 continue
+            job.mark("queue_wait")
             await self._run_prove(job)
 
     async def _run_prove(self, job):
@@ -354,10 +383,18 @@ class ProvingService:
             if degraded:
                 self.counts["degraded"] += 1
             seed = f"serve:prove:{self.seed}:{job.request_id}:{attempts}"
+            detail = None
             try:
-                proof = await loop.run_in_executor(
-                    self._executor, self._compute_prove,
-                    use_pool, job.remaining(), seed)
+                # The inner finally marks the compute phase on success
+                # *and* on every raise, before the handlers below run;
+                # the executor hop is part of compute (the compute thread
+                # is the resource the request was waiting for).
+                try:
+                    proof, detail = await loop.run_in_executor(
+                        self._executor, self._compute_prove,
+                        use_pool, job.remaining(), seed)
+                finally:
+                    job.mark("compute")
             except StageTimeout:
                 self._resolve(job, self._timeout_result(
                     job, queue_wait, exec_start, attempts))
@@ -389,7 +426,7 @@ class ProvingService:
                     queue_wait_s=queue_wait,
                     service_s=time.perf_counter() - exec_start,
                     total_s=job.elapsed(), attempts=attempts,
-                    degraded=degraded))
+                    degraded=degraded, compute_detail=detail))
                 return
             # Retryable fault: async backoff, then go again.
             self.counts["retries"] += 1
@@ -400,6 +437,7 @@ class ProvingService:
                 delay = self.retry.delay(attempts)
                 if self.retry.sleeps and delay > 0:
                     await asyncio.sleep(delay)
+                job.mark("retry_backoff")
         self._resolve(job, self._error_result(
             job, last, queue_wait=queue_wait,
             service_s=time.perf_counter() - exec_start,
@@ -407,9 +445,23 @@ class ProvingService:
 
     def _compute_prove(self, use_pool, remaining, seed):
         """Compute-thread body of one prove attempt: deadline scope,
-        fault site, optional pool, one Groth16 proof."""
-        from repro.groth16 import prove
+        fault site, optional pool, one Groth16 proof.
 
+        Returns ``(proof, compute_detail)`` — the detail is the
+        worker-side split of the compute phase when the PR 7 telemetry
+        collector is installed (``None`` otherwise): how many pool tasks
+        this proof fanned out and how much worker-busy time they cost.
+        Compute is serialized on the single service thread, so the
+        collector's task-list delta around the call is exactly this
+        request's fan-out.
+        """
+        from repro.groth16 import prove
+        from repro.obs import worker as obs_worker
+
+        collector = obs_worker.CURRENT
+        n0 = 0
+        if collector is not None:
+            n0 = len(collector.tasks)
         with resilience.deadline_scope(remaining, stage="serve:proving"):
             inj = faults.CURRENT
             if inj is not None:
@@ -417,8 +469,18 @@ class ProvingService:
             cm = (parallel.using(self._pool) if use_pool
                   else nullcontext())
             with cm:
-                return prove(self._pk, self._circuit, self._witness,
-                             random.Random(seed))
+                proof = prove(self._pk, self._circuit, self._witness,
+                              random.Random(seed))
+        detail = None
+        if collector is not None:
+            tasks = collector.tasks[n0:]
+            if tasks:
+                detail = {
+                    "worker_tasks": len(tasks),
+                    "worker_busy_s": round(
+                        sum(t.get("wall_s", 0.0) for t in tasks), 6),
+                }
+        return proof, detail
 
     async def _verify_loop(self):
         loop = asyncio.get_running_loop()
@@ -426,6 +488,7 @@ class ProvingService:
             job = await self._verify_q.get()
             if job is _STOP:
                 return
+            job.mark("queue_wait")
             batch = [job]
             if self.max_batch > 1 and self.batch_window_s > 0:
                 end = loop.time() + self.batch_window_s
@@ -441,6 +504,7 @@ class ProvingService:
                     if nxt is _STOP:
                         self._verify_q.put_nowait(_STOP)
                         break
+                    nxt.mark("queue_wait")
                     batch.append(nxt)
             await self._run_verify(batch)
 
@@ -451,6 +515,9 @@ class ProvingService:
         for job in batch:
             if job.accounted:
                 continue
+            # Dequeue-to-batch-execution is the coalescing window's cost
+            # (the batch leader pays the full window; the last joiner ~0).
+            job.mark("coalesce_delay")
             waits[job.request_id] = job.elapsed()
             if job.expired():
                 self._resolve(job, self._timeout_result(
@@ -480,9 +547,13 @@ class ProvingService:
         while attempts < self.retry.max_attempts:
             attempts += 1
             try:
-                ok, bad = await loop.run_in_executor(
-                    self._executor, self._compute_verify,
-                    payloads, batch_remaining, seed)
+                try:
+                    ok, bad = await loop.run_in_executor(
+                        self._executor, self._compute_verify,
+                        payloads, batch_remaining, seed)
+                finally:
+                    for job in live:
+                        job.mark("compute")
             except StageTimeout:
                 for job in live:
                     self._resolve(job, self._timeout_result(
@@ -497,6 +568,8 @@ class ProvingService:
                     delay = self.retry.delay(attempts)
                     if self.retry.sleeps and delay > 0:
                         await asyncio.sleep(delay)
+                    for job in live:
+                        job.mark("retry_backoff")
                     continue
                 for job in live:
                     self._resolve(job, self._error_result(
@@ -588,6 +661,12 @@ class ProvingService:
             return
         job.accounted = True
         self._outstanding -= 1
+        # Close the phase clock before handing the result out: the tail
+        # since the last mark is settle, so the phases partition the
+        # request's lifetime and sum to total_s within tolerance on
+        # every resolution path.
+        result.phases = job.finish_phases()
+        result.start_s = max(0.0, job.admitted_ts - self._t0)
         # A caller may have cancelled the future (e.g. a load generator
         # torn down mid-run); the accounting above must still happen or
         # drain() would wait for the job forever.
@@ -610,6 +689,9 @@ class ProvingService:
                       buckets=TIME_BUCKETS)
             m.observe("repro_serve_queue_wait_seconds", result.queue_wait_s,
                       buckets=TIME_BUCKETS)
+            for phase, dur in result.phases.items():
+                m.observe(f"repro_serve_phase_{phase}_seconds", dur,
+                          buckets=TIME_BUCKETS)
             m.set_gauge("repro_serve_queue_depth", self.queue_depth)
 
     # -- introspection ------------------------------------------------------------

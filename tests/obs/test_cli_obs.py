@@ -51,7 +51,7 @@ class TestProfileCommand:
                              "--ledger", str(tmp_path / "led.jsonl")])
         assert code == 0
         rec = json.loads(out)
-        assert rec["schema"] == 4
+        assert rec["schema"] == 5
         assert rec["metrics"]["counters"]["repro_groth16_verify_total"] == 1
         assert rec["profile"] is None  # plain profile carries no deep block
         # v2 lifts span cpu/rss/gc to the stage record for perf-check
@@ -204,7 +204,7 @@ class TestDeepProfileCommand:
         assert len(records) == 1
         rec = records[0]
         assert rec["kind"] == "deep-profile"
-        assert rec["schema"] == 4
+        assert rec["schema"] == 5
         assert rec["profile"]["profiler"]["backend"] == "sys.setprofile"
         assert set(rec["profile"]["stages"]) == set(STAGES)
         for stage_block in rec["profile"]["stages"].values():

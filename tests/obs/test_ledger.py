@@ -48,7 +48,7 @@ class TestMakeRecord:
             seed=0, stages=[{"stage": "compile", "elapsed_s": 0.01, "span": None}],
             metrics={"counters": {}}, label="unit",
         )
-        assert rec["schema"] == 4
+        assert rec["schema"] == 5
         assert rec["kind"] == "profile"
         assert rec["machine_id"] == fingerprint.fingerprint_id(rec["machine"])
         assert rec["ts"] > 0
@@ -92,7 +92,7 @@ class TestMakeRecord:
             kind="loadtest", curve="bn128", size=32,
             workload="exponentiate", seed=0, stages=[], service=block,
         )
-        assert rec["schema"] == 4
+        assert rec["schema"] == 5
         assert rec["service"] == block
         json.dumps(rec)
 
@@ -114,7 +114,7 @@ class TestMakeRecord:
         led.append(make_record(kind="profile", curve="bn128", size=64,
                                workload="exponentiate", seed=0, stages=[]))
         records = read_ledger(str(path))
-        assert [r["schema"] for r in records] == [1, 2, 3, 4]
+        assert [r["schema"] for r in records] == [1, 2, 3, 5]
         assert "profile" not in records[0]
         assert "workers" not in records[1]
         assert "service" not in records[2]

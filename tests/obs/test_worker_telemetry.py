@@ -237,7 +237,7 @@ class TestLedgerV3Workers:
                 wf.run_all()
                 assert wf.accepted is True
         (rec,) = ledger.read_ledger(str(path))
-        assert rec["schema"] == 4
+        assert rec["schema"] == 5
         block = rec["workers"]
         assert block["backend"] == "process" and block["workers"] == 2
         assert block["totals"]["tasks"] == len(block["tasks"])

@@ -7,6 +7,7 @@ import pytest
 from repro.perf.export import (
     collapsed_to_text,
     counters_to_csv,
+    requests_to_chrome_trace,
     spans_to_chrome_trace,
     stages_to_chrome_trace,
     to_chrome_trace,
@@ -156,6 +157,79 @@ class TestSpansChromeTrace:
                  for e in doc["traceEvents"] if e["ph"] == "M"}
         assert names[1] == "main"
         assert {names[t] for t in task_tids} == {"worker 4001", "worker 4002"}
+
+
+class TestRequestsChromeTrace:
+    def make_results(self):
+        from repro.serve.jobs import JobResult
+
+        ok = JobResult(request_id=1, kind="prove", status="ok",
+                       total_s=0.030, start_s=0.010,
+                       phases={"admission": 0.001, "queue_wait": 0.004,
+                               "compute": 0.020, "settle": 0.005},
+                       compute_detail={"worker_tasks": 2})
+        retried = JobResult(request_id=2, kind="verify", status="ok",
+                            attempts=3, batched=2, total_s=0.050,
+                            start_s=0.015,
+                            phases={"admission": 0.001, "queue_wait": 0.002,
+                                    "coalesce_delay": 0.010,
+                                    "retry_backoff": 0.007,
+                                    "compute": 0.028, "settle": 0.002})
+        shed = JobResult(request_id=-3, kind="prove", status="shed",
+                         error_code="admission",
+                         error="error[admission]: queue full")
+        return [ok, retried, shed]
+
+    def test_lanes_and_phase_subbars(self):
+        doc = json.loads(requests_to_chrome_trace(self.make_results()))
+        assert doc["otherData"]["requests"] == 2  # untracked shed skipped
+        assert doc["otherData"]["classes"] == ["prove", "verify"]
+        bars = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        # One pid lane per request class, sorted alphabetically.
+        pids = {e["pid"] for e in bars}
+        assert len(pids) == 2
+        parents = {e["name"]: e for e in bars if "#" in e["name"]}
+        assert set(parents) == {"prove #1 [ok]", "verify #2 [ok]"}
+        assert parents["prove #1 [ok]"]["pid"] \
+            != parents["verify #2 [ok]"]["pid"]
+        # The parent bar spans total_s at the request's start offset.
+        p = parents["prove #1 [ok]"]
+        assert p["ts"] == pytest.approx(0.010 * 1e6)
+        assert p["dur"] == pytest.approx(0.030 * 1e6)
+        assert p["args"]["compute_detail"] == {"worker_tasks": 2}
+        # Phase sub-bars tile the parent on the same (pid, tid) lane.
+        subs = [e for e in bars if e["pid"] == p["pid"]
+                and e["tid"] == p["tid"] and "#" not in e["name"]]
+        assert [e["name"] for e in subs] == ["admission", "queue_wait",
+                                             "compute", "settle"]
+        assert subs[0]["ts"] == pytest.approx(p["ts"])
+        end = subs[-1]["ts"] + subs[-1]["dur"]
+        assert end == pytest.approx(p["ts"] + p["dur"])
+
+    def test_retry_and_coalesce_phases_render(self):
+        doc = json.loads(requests_to_chrome_trace(self.make_results()))
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert "coalesce_delay" in names
+        assert "retry_backoff" in names
+
+    def test_lane_metadata_names(self):
+        doc = json.loads(requests_to_chrome_trace(self.make_results()))
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        proc_names = {e["args"]["name"] for e in metas
+                      if e["name"] == "process_name"}
+        assert proc_names == {"prove", "verify"}
+        thread_names = {e["args"]["name"] for e in metas
+                        if e["name"] == "thread_name"}
+        assert thread_names == {"request 1", "request 2"}
+
+    def test_untracked_only_input_is_an_empty_trace(self):
+        from repro.serve.jobs import JobResult
+
+        shed = JobResult(request_id=-1, kind="prove", status="shed",
+                         error_code="admission", error="error[admission]: x")
+        doc = json.loads(requests_to_chrome_trace([shed]))
+        assert doc["traceEvents"] == []
+        assert doc["otherData"]["requests"] == 0
 
 
 class TestCsv:

@@ -9,7 +9,7 @@ import pytest
 from repro.obs.ledger import make_record
 from repro.resilience.retry import RetryPolicy
 from repro.serve import CircuitBreaker, ProvingService, parse_mix, run_loadtest
-from repro.serve.loadgen import percentile
+from repro.serve.loadgen import _dist, percentile
 
 
 def fast_service(**kwargs):
@@ -59,6 +59,55 @@ class TestPercentile:
         values = [float(i) for i in range(1, 101)]
         assert percentile(values, 50) == 50.0
         assert percentile(values, 99) == 99.0
+
+    # The pinned nearest-rank contract on tiny result sets: rank =
+    # max(1, ceil(p/100 * n)), so p50 of two samples is the *lower*
+    # sample and p95/p99 the upper; a single sample answers every p.
+    @pytest.mark.parametrize("values,p,expected", [
+        ([3.0], 50, 3.0),
+        ([3.0], 95, 3.0),
+        ([3.0], 99, 3.0),
+        ([1.0, 2.0], 50, 1.0),
+        ([1.0, 2.0], 95, 2.0),
+        ([1.0, 2.0], 99, 2.0),
+        ([1.0, 2.0, 3.0], 50, 2.0),
+        ([1.0, 2.0, 3.0], 95, 3.0),
+        ([1.0, 2.0, 3.0, 4.0], 50, 2.0),
+        ([1.0, 2.0, 3.0, 4.0], 75, 3.0),
+        ([float(i) for i in range(1, 21)], 95, 19.0),
+        ([float(i) for i in range(1, 21)], 99, 20.0),
+    ])
+    def test_small_set_contract(self, values, p, expected):
+        assert percentile(values, p) == expected
+
+    def test_float_noise_cannot_shift_a_rank(self):
+        # 0.95 * 20 is 19.000000000000004 in binary floats; the rounded
+        # rank must stay 19, never ceil up to 20.
+        values = [float(i) for i in range(1, 21)]
+        assert percentile(values, 95) == 19.0
+
+    def test_tiny_p_clamps_to_minimum(self):
+        assert percentile([1.0, 2.0, 3.0], 0) == 1.0
+
+
+class TestDist:
+    def test_empty_set_sentinel_is_explicit(self):
+        d = _dist([])
+        assert d["n"] == 0
+        assert d == {"n": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                     "mean": 0.0, "max": 0.0}
+
+    def test_n_distinguishes_measured_zero_from_sentinel(self):
+        measured = _dist([0.0])
+        assert measured["n"] == 1
+        assert measured["p99"] == 0.0  # a real measurement this time
+
+    def test_summary_fields(self):
+        d = _dist([0.2, 0.1, 0.3])
+        assert d["n"] == 3
+        assert d["p50"] == 0.2
+        assert d["max"] == 0.3
+        assert d["mean"] == pytest.approx(0.2)
 
 
 class TestLoadReport:

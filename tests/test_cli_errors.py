@@ -200,7 +200,7 @@ class TestLoadtestVerb:
                          "--size", "8", "--no-ledger", "--json")
         assert result.returncode == 0, (result.stdout, result.stderr)
         record = json.loads(result.stdout)
-        assert record["schema"] == 4
+        assert record["schema"] == 5
         block = record["service"]
         assert block["requests"]["sent"] >= 1
         assert block["requests"]["unresolved"] == 0
