@@ -3,7 +3,7 @@
 .PHONY: install test lint codelint bench artifacts slow clean profile \
 	perf-check chaos deep-profile drift-check refresh-baseline \
 	parallel-test parallel-check parallel-report measured serve loadtest \
-	pareto capacity-check refresh-capacity-baseline
+	pareto capacity-check refresh-capacity-baseline kernel-bench kernel-test
 
 # Seeds for the chaos smoke (override: make chaos CHAOS_SEEDS="0 7 42").
 CHAOS_SEEDS ?= 0 1 2 3
@@ -85,6 +85,21 @@ MIN_SPEEDUP ?= 1.3
 parallel-check:
 	PYTHONPATH=src python -m repro parallel-check --size 4096 \
 		--workers $(PAR_WORKERS) --min-speedup $(MIN_SPEEDUP)
+
+# MSM kernel speed gate (docs/KERNELS.md): optimized kernels (signed-digit
+# + batch-affine, GLV) must beat the reference Pippenger by
+# $(KERNEL_MIN_SPEEDUP)x on a 2^12 MSM with bit-identical results; exits 0
+# with a SKIP message on single-core machines.
+KERNEL_MIN_SPEEDUP ?= 1.5
+kernel-bench:
+	PYTHONPATH=src python -m repro kernel-bench --size 4096 \
+		--min-speedup $(KERNEL_MIN_SPEEDUP)
+
+# Full kernel differential matrix (docs/KERNELS.md): every optimized MSM
+# kernel x curve x size x worker count must match the reference kernel
+# bit-for-bit, proofs included.  Wider than the tier-1 run.
+kernel-test:
+	REPRO_KERNEL_FULL=1 PYTHONPATH=src pytest -x -q tests/msm tests/fields
 
 # Parallel-efficiency report (docs/PARALLELISM.md): per-stage speedup,
 # worker busy time, utilization, imbalance, dispatch overhead, and the

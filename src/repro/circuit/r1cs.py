@@ -76,12 +76,12 @@ class R1CS:
     # -- evaluation ----------------------------------------------------------------
 
     def eval_lc(self, row, witness):
-        """Evaluate a sparse linear combination against a witness vector."""
-        f = self.fr
-        acc = 0
-        for wire, coeff in row.items():
-            acc = f.add(acc, f.mul(coeff, witness[wire]))
-        return acc
+        """Evaluate a sparse linear combination against a witness vector.
+
+        Lazy reduction: one deferred ``% p`` over the whole sum instead of
+        one per term (identical result, same traced primitive counts).
+        """
+        return self.fr.lincomb((coeff, witness[wire]) for wire, coeff in row.items())
 
     def is_satisfied(self, witness):
         """True iff every constraint holds for *witness* (``witness[0] == 1``)."""

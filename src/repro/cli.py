@@ -682,6 +682,29 @@ def build_parser():
                         help="best-of-N timing runs per backend (default 1)")
     pcheck.add_argument("--workload", default="exponentiate")
     pcheck.add_argument("--seed", type=int, default=0)
+
+    kbench = sub.add_parser(
+        "kernel-bench",
+        help="CI gate: optimized-vs-reference MSM kernel wall time on one "
+             "2^12 MSM; skips cleanly on small runners (docs/KERNELS.md)",
+    )
+    kbench.add_argument("--curve", type=_curve_name, default="bn128")
+    kbench.add_argument("--size", type=int, default=4096,
+                        help="MSM length (default 4096 = 2^12)")
+    kbench.add_argument("--kernels", default="wnaf,glv",
+                        help="comma-separated optimized kernels to gate "
+                             "(subset of wnaf,glv; default both)")
+    kbench.add_argument("--min-speedup", type=float, default=1.5,
+                        help="required speedup of the best optimized kernel "
+                             "over the reference Pippenger (default 1.5)")
+    kbench.add_argument("--repeats", type=_positive_int, default=1,
+                        help="best-of-N timing runs per kernel (default 1)")
+    kbench.add_argument("--min-cores", type=_positive_int, default=2,
+                        help="skip (exit 0) on machines with fewer cores — "
+                             "busy single-core runners time too noisily "
+                             "(default 2)")
+    kbench.add_argument("--seed", type=int, default=0)
+    kbench.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -1372,6 +1395,93 @@ def cmd_parallel_check(args, out=print):
     return 0
 
 
+def cmd_kernel_bench(args, out=print):
+    """Optimized-vs-reference MSM kernel gate (docs/KERNELS.md).
+
+    Times the reference Pippenger kernel against the optimized kernels on
+    one deterministic MSM input, requires bit-identical results from every
+    kernel, and fails unless the *best* optimized kernel clears
+    ``--min-speedup``.  Self-skips (exit 0) on runners below
+    ``--min-cores`` like ``parallel-check`` does.
+    """
+    import json
+    import random
+    import time as _time
+
+    from repro.curves import get_curve
+    from repro.msm.glv import msm_glv
+    from repro.msm.pippenger import msm_pippenger
+    from repro.msm.wnaf import msm_wnaf
+
+    cores = os.cpu_count() or 1
+    if cores < args.min_cores:
+        out(f"kernel-bench: SKIP — {cores} core(s) available, gate needs "
+            f">= {args.min_cores} for stable timings")
+        return 0
+
+    known = {"wnaf": msm_wnaf, "glv": msm_glv}
+    names = [k.strip() for k in args.kernels.split(",") if k.strip()]
+    bad = [k for k in names if k not in known]
+    if bad or not names:
+        raise ValueError(
+            f"--kernels must be a non-empty subset of {','.join(sorted(known))}, "
+            f"got {args.kernels!r}")
+
+    curve = get_curve(args.curve)
+    group = curve.g1
+    rng = random.Random(args.seed)
+    # Deterministic input; points are cheap small multiples of the
+    # generator, scalars full-width (what the prover's MSMs look like).
+    points = [(group.generator * rng.randrange(1, 1 << 20)).to_affine()
+              for _ in range(args.size)]
+    scalars = [rng.randrange(group.order) for _ in range(args.size)]
+
+    def _best_of(fn):
+        best, result = None, None
+        for _ in range(args.repeats):
+            t0 = _time.perf_counter()
+            result = fn(group, points, scalars)
+            dt = _time.perf_counter() - t0
+            best = dt if best is None or dt < best else best
+        return best, result
+
+    ref_s, ref = _best_of(msm_pippenger)
+    rows = []
+    identical = True
+    for name in names:
+        opt_s, opt = _best_of(known[name])
+        same = opt == ref
+        identical = identical and same
+        rows.append({"kernel": name, "seconds": opt_s,
+                     "speedup": ref_s / opt_s if opt_s > 0 else float("inf"),
+                     "identical": same})
+
+    record = {"curve": args.curve, "size": args.size,
+              "reference_seconds": ref_s, "kernels": rows,
+              "min_speedup": args.min_speedup}
+    if args.as_json:
+        out(json.dumps(record, indent=2))
+    else:
+        out(f"kernel-bench: {args.curve} G1 n={args.size} — reference "
+            f"pippenger {ref_s:.3f}s")
+        for row in rows:
+            out(f"kernel-bench:   {row['kernel']:<5s} {row['seconds']:.3f}s "
+                f"speedup {row['speedup']:.2f}x, result "
+                f"{'identical' if row['identical'] else 'DIFFERS'}")
+    if not identical:
+        out("kernel-bench: FAIL — an optimized kernel disagrees with the "
+            "reference result")
+        return 1
+    best = max(row["speedup"] for row in rows)
+    if best < args.min_speedup:
+        out(f"kernel-bench: FAIL — best speedup {best:.2f}x below required "
+            f"{args.min_speedup:.2f}x")
+        return 1
+    out(f"kernel-bench: OK — best speedup {best:.2f}x "
+        f">= {args.min_speedup:.2f}x")
+    return 0
+
+
 def cmd_parallel_report(args, out=print):
     from repro.obs import format as obs_format
     from repro.obs.worker import build_parallel_report
@@ -1497,6 +1607,7 @@ def main(argv=None, out=print):
                "serve": cmd_serve, "loadtest": cmd_loadtest,
                "pareto": cmd_pareto, "capacity-check": cmd_capacity_check,
                "parallel-check": cmd_parallel_check,
+               "kernel-bench": cmd_kernel_bench,
                "parallel-report": cmd_parallel_report}[args.command]
     try:
         return handler(args, out=out)

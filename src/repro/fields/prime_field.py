@@ -10,6 +10,7 @@ multiply produces on x86.
 
 from __future__ import annotations
 
+from repro.fields import bigint
 from repro.obs import metrics
 from repro.perf import trace
 
@@ -34,7 +35,7 @@ class PrimeField:
     """
 
     __slots__ = (
-        "modulus", "name", "bits", "limbs", "nbytes",
+        "modulus", "name", "bits", "limbs", "nbytes", "_mod",
         "_add_tag", "_sub_tag", "_mul_tag", "_sqr_tag", "_inv_tag", "_neg_tag",
     )
 
@@ -42,6 +43,10 @@ class PrimeField:
         if modulus < 3 or modulus % 2 == 0:
             raise ValueError(f"{name}: modulus must be an odd prime, got {modulus}")
         self.modulus = modulus
+        # The modulus in the active bigint backend's native type
+        # (``REPRO_BIGINT=gmpy2`` lifts it to ``mpz`` so the hot ``%`` runs
+        # in GMP; the default backend keeps a plain int — zero overhead).
+        self._mod = bigint.wrap_modulus(modulus)
         self.name = name
         self.bits = modulus.bit_length()
         self.limbs = (self.bits + 63) // 64
@@ -93,14 +98,14 @@ class PrimeField:
         t = trace.CURRENT
         if t is not None:
             t.op(self._mul_tag)
-        return a * b % self.modulus
+        return a * b % self._mod
 
     def sqr(self, a):
         """Return ``a^2 mod p``."""
         t = trace.CURRENT
         if t is not None:
             t.op(self._sqr_tag)
-        return a * a % self.modulus
+        return a * a % self._mod
 
     def inv(self, a):
         """Return the multiplicative inverse of ``a`` (raises on zero).
@@ -119,7 +124,7 @@ class PrimeField:
         m = metrics.CURRENT
         if m is not None:
             m.inc("repro_field_inv_total")
-        return pow(a, -1, self.modulus)
+        return bigint.invmod(a, self._mod)
 
     def div(self, a, b):
         """Return ``a / b mod p``."""
@@ -128,18 +133,42 @@ class PrimeField:
     def pow(self, a, e):
         """Return ``a^e mod p`` (``e`` may be any integer; 0^0 == 1)."""
         if e < 0:
-            return pow(self.inv(a), -e, self.modulus)
+            return bigint.powmod(self.inv(a), -e, self._mod)
         t = trace.CURRENT
         if t is not None:
             # Square-and-multiply: ~bits squarings + ~bits/2 multiplies.
             nbits = max(e.bit_length(), 1)
             t.op(self._sqr_tag, nbits)
             t.op(self._mul_tag, nbits // 2)
-        return pow(a, e, self.modulus)
+        return bigint.powmod(a, e, self._mod)
 
     def reduce(self, a):
         """Map an arbitrary integer into ``[0, p)``."""
-        return a % self.modulus
+        return a % self._mod
+
+    def lincomb(self, pairs, const=0):
+        """Return ``(const + sum(c * v for c, v in pairs)) mod p`` lazily.
+
+        Lazy-reduction accumulation (docs/KERNELS.md): the products are
+        summed as exact integers and reduced **once** at the end, replacing
+        ``n`` interleaved ``% p`` reductions with one.  Exact integer
+        arithmetic makes the result identical to the per-term reduced loop.
+
+        The traced path reports the same ``n`` multiply + ``n`` add
+        primitive counts the per-op loop it replaces would have reported,
+        so modeled analyses are unchanged.
+        """
+        acc = const
+        n = 0
+        for c, v in pairs:
+            acc += c * v
+            n += 1
+        t = trace.CURRENT
+        if t is not None:
+            if n:
+                t.op(self._mul_tag, n)
+                t.op(self._add_tag, n)
+        return acc % self._mod
 
     # -- batch helpers ---------------------------------------------------------
 

@@ -40,12 +40,13 @@ class WitnessError(ValueError):
 
 
 def _eval_frozen(fr, frozen, signals):
-    """Evaluate a frozen linear combination against the signal arena."""
+    """Evaluate a frozen linear combination against the signal arena.
+
+    Uses the field's lazy-reduction accumulator: one deferred reduction
+    per combination instead of one per term.
+    """
     terms, const = frozen
-    acc = const
-    for wire, coeff in terms:
-        acc = fr.add(acc, fr.mul(coeff, signals[wire]))
-    return acc
+    return fr.lincomb(((coeff, signals[wire]) for wire, coeff in terms), const)
 
 
 def generate_witness(circuit, inputs):

@@ -36,6 +36,11 @@ class FixedBaseTable:
     def __init__(self, base, width=4, bits=None):
         if width < 1 or width > 16:
             raise ValueError(f"window width must be in [1, 16], got {width}")
+        if bits is not None and bits < 1:
+            # Without this guard, bits=0 silently coerced to the default
+            # (``bits or ...``) and a negative width built an *empty* table
+            # whose ``mul`` returned infinity for every scalar.
+            raise ValueError(f"table bit width must be >= 1, got {bits}")
         group = base.group
         self.group = group
         self.width = width

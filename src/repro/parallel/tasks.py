@@ -46,18 +46,21 @@ def _point_out(point):
 
 
 def msm_chunk(payload):
-    """Partial Pippenger MSM over one chunk of the (points, scalars) input.
+    """Partial MSM over one chunk of the (points, scalars) input.
 
-    Runs the *serial* kernel on the chunk — including its ``msm:pippenger``
-    fault-site check, which is how a shipped chaos fault fires in here —
-    and returns the partial sum as an affine tuple.
+    Routes through the serial kernel dispatcher (``msm_auto``), so chunked
+    parallel MSMs ride the same optimized fast path (GLV / signed-digit /
+    batch-affine) as serial runs — including the ``msm:pippenger``
+    fault-site check every bucket kernel performs, which is how a shipped
+    chaos fault fires in here — and returns the partial sum as an affine
+    tuple.
     """
-    from repro.msm.pippenger import msm_pippenger
+    from repro.msm.dispatch import msm_auto
 
     group = resolve_group(payload["group"])
     return _point_out(
-        msm_pippenger(group, payload["points"], payload["scalars"],
-                      window=payload.get("window"))
+        msm_auto(group, payload["points"], payload["scalars"],
+                 window=payload.get("window"))
     )
 
 
@@ -93,13 +96,15 @@ def witness_mul_chunk(payload):
     values = payload["values"]
     out = []
     for a_terms, a_const, b_terms, b_const in payload["steps"]:
+        # Lazy reduction: exact integer accumulation, one ``%`` per side
+        # (bit-identical to per-term reduction — docs/KERNELS.md).
         acc_a = a_const
         for wire, coeff in a_terms:
-            acc_a = (acc_a + coeff * values[wire]) % modulus
+            acc_a += coeff * values[wire]
         acc_b = b_const
         for wire, coeff in b_terms:
-            acc_b = (acc_b + coeff * values[wire]) % modulus
-        out.append(acc_a * acc_b % modulus)
+            acc_b += coeff * values[wire]
+        out.append((acc_a % modulus) * (acc_b % modulus) % modulus)
     return out
 
 

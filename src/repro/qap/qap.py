@@ -60,8 +60,25 @@ def column_evaluations_at(r1cs, domain, tau):
             for wire, coeff in cons.c.items():
                 w[wire] = f.add(w[wire], f.mul(coeff, lj))
 
+    def _accumulate_lazy():
+        # Lazy reduction (docs/KERNELS.md): accumulate exact integer
+        # products per column and reduce each wire once at the end —
+        # identical results, one ``% p`` per wire instead of one per term.
+        mod = f.modulus
+        for j, cons in enumerate(r1cs.constraints):
+            lj = lag[j]
+            for wire, coeff in cons.a.items():
+                u[wire] += coeff * lj
+            for wire, coeff in cons.b.items():
+                v[wire] += coeff * lj
+            for wire, coeff in cons.c.items():
+                w[wire] += coeff * lj
+        for col in (u, v, w):
+            for i, x in enumerate(col):
+                col[i] = x % mod
+
     if t is None:
-        _accumulate()
+        _accumulate_lazy()
     else:
         with t.region("qap_columns_at_tau", parallel=True, items=r1cs.n_constraints):
             _accumulate()

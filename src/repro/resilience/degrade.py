@@ -31,7 +31,11 @@ __all__ = [
 
 
 def resilient_msm(group, points, scalars, window=None):
-    """Pippenger MSM with naive-kernel fallback on a transient fault.
+    """Bucket-method MSM with naive-kernel fallback on a transient fault.
+
+    The happy path routes through :func:`repro.msm.dispatch.msm_auto`, so
+    the prover picks up the optimized kernels (GLV / signed-digit /
+    batch-affine — docs/KERNELS.md) wherever they apply.
 
     With a worker pool installed (:mod:`repro.parallel`) and the input
     large enough, the Pippenger leg runs as the chunked parallel kernel —
@@ -41,8 +45,8 @@ def resilient_msm(group, points, scalars, window=None):
     # Lazy kernel imports: the MSM package instruments its hot paths with
     # resilience fault sites, so importing it here at module load would
     # be circular.
+    from repro.msm.dispatch import msm_auto
     from repro.msm.naive import msm_naive
-    from repro.msm.pippenger import msm_pippenger
     from repro.parallel.pool import active_pool
 
     try:
@@ -51,7 +55,7 @@ def resilient_msm(group, points, scalars, window=None):
             from repro.parallel.kernels import msm_parallel
 
             return msm_parallel(group, points, scalars, pool, window=window)
-        return msm_pippenger(group, points, scalars, window=window)
+        return msm_auto(group, points, scalars, window=window)
     except TransientFault:
         m = metrics.CURRENT
         if m is not None:

@@ -22,6 +22,14 @@ def polled_loop(values):  # clean: polls the slot inside the loop
     return total
 
 
+# codelint: ignore[RC501] -- pure integer transform; callers poll per pass
+def suppressed_loop(values):  # clean: suppression marker on the def line
+    total = 0
+    for v in values:
+        total += v
+    return total
+
+
 def delegating_loop(values):  # clean: reaches the poll through a callee
     out = []
     for v in values:

@@ -1,0 +1,162 @@
+"""Lazy-reduction and bigint-backend invariants (docs/KERNELS.md).
+
+The kernel speed campaign moved the field accumulation hot loops (R1CS row
+evaluation, frozen witness combinations, QAP column sums, worker-side
+witness chunks) onto :meth:`PrimeField.lincomb`, which sums exact integer
+products and reduces once.  Exactness of Python integers makes that
+*provably* identical to the per-term ``%`` loop — these tests pin it
+anyway, together with the traced-op-count equivalence the cost model
+relies on and the graceful-degradation contract of ``REPRO_BIGINT``.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields import BN254_FR, bigint
+from repro.fields.prime_field import PrimeField
+
+FR = BN254_FR
+SMALL = PrimeField(97, "f97")
+
+
+def _foldl_reduced(field, pairs, const=0):
+    """The per-term-reduced loop lincomb replaces."""
+    acc = field.reduce(const)
+    for c, v in pairs:
+        acc = field.add(acc, field.mul(c, v))
+    return acc
+
+
+class TestLincomb:
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_matches_per_term_reduction(self, data):
+        field = data.draw(st.sampled_from([FR, SMALL]))
+        # Coefficients and values beyond [0, p) on purpose: callers feed
+        # raw builder constants; reduction must commute either way.
+        span = st.integers(min_value=-(field.modulus * 3),
+                           max_value=field.modulus * 3)
+        pairs = data.draw(st.lists(st.tuples(span, span), max_size=24))
+        const = data.draw(span)
+        assert (field.lincomb(pairs, const)
+                == _foldl_reduced(field, pairs, const))
+
+    def test_empty_and_const_only(self):
+        assert FR.lincomb([]) == 0
+        assert FR.lincomb([], const=FR.modulus + 5) == 5
+
+    def test_result_is_canonical(self):
+        out = FR.lincomb([(FR.modulus - 1, FR.modulus - 1)] * 8)
+        assert 0 <= out < FR.modulus
+
+    def test_traced_counts_match_per_op_loop(self):
+        from repro.perf.trace import Tracer, tracing
+
+        pairs = [(3, 5), (7, 11), (13, 17)]
+
+        def counts(fn):
+            tracer = Tracer()
+            with tracing(tracer):
+                fn()
+            return dict(tracer.root.counts)
+
+        lazy = counts(lambda: FR.lincomb(pairs))
+        eager = counts(lambda: _foldl_reduced(FR, pairs))
+        # The cost-model contract: the lazy path reports exactly the
+        # per-term mul/add primitives the eager loop it replaced reported.
+        mul_ops = [op for op in eager if "mul" in op]
+        add_ops = [op for op in eager if "add" in op]
+        assert mul_ops and add_ops
+        for op in mul_ops + add_ops:
+            assert lazy.get(op) == eager[op], op
+
+    def test_generator_input(self):
+        pairs = [(i, i + 1) for i in range(10)]
+        assert (FR.lincomb((c, v) for c, v in pairs)
+                == FR.lincomb(list(pairs)))
+
+
+class TestWitnessChunkLazyReduction:
+    def test_matches_eager_evaluation(self):
+        from repro.parallel.tasks import witness_mul_chunk
+
+        r = random.Random(11)
+        p = FR.modulus
+        values = [r.randrange(p) for _ in range(16)]
+        steps = []
+        for _ in range(8):
+            a_terms = [(r.randrange(16), r.randrange(p)) for _ in range(5)]
+            b_terms = [(r.randrange(16), r.randrange(p)) for _ in range(3)]
+            steps.append((a_terms, r.randrange(p), b_terms, r.randrange(p)))
+        got = witness_mul_chunk(
+            {"modulus": p, "values": values, "steps": steps})
+        want = []
+        for a_terms, a_const, b_terms, b_const in steps:
+            a = a_const % p
+            for wire, coeff in a_terms:
+                a = (a + coeff * values[wire]) % p
+            b = b_const % p
+            for wire, coeff in b_terms:
+                b = (b + coeff * values[wire]) % p
+            want.append(a * b % p)
+        assert got == want
+
+
+class TestBigintBackend:
+    def test_python_backend_active(self):
+        # gmpy2 is not installed in this environment; the flag must have
+        # degraded gracefully at import.
+        assert bigint.BACKEND in ("python", "gmpy2")
+
+    def test_select_backend_fallback(self):
+        label, wrap, invert, powmod = bigint.select_backend("python")
+        assert label == "python" and wrap is int
+        assert invert is None and powmod is None
+        # Unknown names degrade to python, never raise.
+        label, wrap, _, _ = bigint.select_backend("weird-backend")
+        assert label == "python" and wrap is int
+        # gmpy2 resolves iff importable; either way the call succeeds.
+        label, wrap, invert, powmod = bigint.select_backend("gmpy2")
+        if label == "gmpy2":
+            assert invert is not None and powmod is not None
+        else:
+            assert wrap is int and invert is None and powmod is None
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=st.integers(min_value=1, max_value=(1 << 256) - 1),
+           e=st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_invmod_powmod_agree_with_builtins(self, a, e):
+        p = FR.modulus
+        a = a % p or 1
+        assert bigint.invmod(a, p) == pow(a, -1, p)
+        assert bigint.powmod(a, e, p) == pow(a, e, p)
+
+    def test_wrapped_modulus_arithmetic_is_bit_identical(self):
+        m = bigint.wrap_modulus(FR.modulus)
+        assert m == FR.modulus
+        assert (123456789 * 987654321) % m == (123456789 * 987654321) % FR.modulus
+
+    def test_field_ops_unchanged_by_backend(self):
+        r = random.Random(3)
+        for _ in range(50):
+            a, b = r.randrange(FR.modulus), r.randrange(1, FR.modulus)
+            assert FR.mul(a, b) == a * b % FR.modulus
+            assert FR.mul(FR.inv(b), b) == 1
+            assert FR.pow(a, 5) == pow(a, 5, FR.modulus)
+
+
+class TestEvalLcLazyReduction:
+    def test_r1cs_row_matches_manual_sum(self):
+        from repro.circuit.r1cs import R1CS
+
+        r = random.Random(5)
+        n = 12
+        system = R1CS(FR, n, [0], [])
+        row = {r.randrange(n): r.randrange(FR.modulus) for _ in range(6)}
+        witness = [r.randrange(FR.modulus) for _ in range(n)]
+        want = 0
+        for wire, coeff in row.items():
+            want = (want + coeff * witness[wire]) % FR.modulus
+        assert system.eval_lc(row, witness) == want

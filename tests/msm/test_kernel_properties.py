@@ -1,0 +1,260 @@
+"""Property suites for the optimized-kernel building blocks (docs/KERNELS.md).
+
+Hypothesis pins the algebraic invariants each optimization rests on:
+
+- signed-window recoding is an exact integer transform with digits in
+  ``[-(2^(c-1) - 1), 2^(c-1)]``;
+- wNAF digits are odd, bounded, non-adjacent, and round-trip;
+- GLV decomposition satisfies ``k1 + lam*k2 = k (mod r)`` with half-width
+  halves, and the derived constants are genuine roots of ``x^2 + x + 1``;
+- batch-affine bucket accumulation matches naive group addition, including
+  the doubling and cancellation corner cases that bypass the inversion
+  batch.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.curves import BLS12_381, BN128
+from repro.msm.batch_affine import batch_affine_accumulate
+from repro.msm.glv import decompose_scalar, glv_params
+from repro.msm.recode import signed_windows, signed_windows_len, wnaf, wnaf_value
+from repro.msm.wnaf import optimal_signed_window
+
+R_BN = BN128.g1.order
+EDGE_SCALARS = [0, 1, 2, R_BN - 1, R_BN, R_BN + 1, 2 * R_BN - 1]
+
+
+class TestSignedWindows:
+    @settings(max_examples=200, deadline=None)
+    @given(k=st.integers(min_value=0, max_value=(1 << 256) - 1),
+           c=st.integers(min_value=1, max_value=16))
+    def test_round_trip_and_digit_range(self, k, c):
+        n_digits = signed_windows_len(max(k.bit_length(), 1), c)
+        digits = signed_windows(k, c, n_digits)
+        assert len(digits) == n_digits
+        half = 1 << (c - 1)
+        for d in digits:
+            assert -(half - 1) <= d <= half
+        assert sum(d << (c * i) for i, d in enumerate(digits)) == k
+
+    @pytest.mark.parametrize("k", EDGE_SCALARS)
+    @pytest.mark.parametrize("c", [1, 2, 5, 13, 16])
+    def test_edge_scalars(self, k, c):
+        n_digits = signed_windows_len(max(k.bit_length(), 1), c)
+        digits = signed_windows(k, c, n_digits)
+        assert sum(d << (c * i) for i, d in enumerate(digits)) == k
+
+    def test_shared_shape_across_batch(self):
+        # The kernel recodes a whole batch with one n_digits; narrower
+        # scalars must recode exactly under the widest scalar's shape.
+        c = 5
+        n_digits = signed_windows_len(254, c)
+        for k in (0, 1, 12345, (1 << 254) - 1):
+            digits = signed_windows(k, c, n_digits)
+            assert sum(d << (c * i) for i, d in enumerate(digits)) == k
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            signed_windows(-1, 4, 10)
+        with pytest.raises(ValueError):
+            # 2^20 does not fit in two 4-bit signed windows.
+            signed_windows(1 << 20, 4, 2)
+        with pytest.raises(ValueError):
+            signed_windows_len(256, 0)
+        with pytest.raises(ValueError):
+            signed_windows_len(0, 4)
+
+
+class TestWnaf:
+    @settings(max_examples=200, deadline=None)
+    @given(k=st.integers(min_value=0, max_value=(1 << 256) - 1),
+           w=st.integers(min_value=2, max_value=8))
+    def test_round_trip_digits_odd_bounded_nonadjacent(self, k, w):
+        digits = wnaf(k, w)
+        assert wnaf_value(digits) == k
+        half = 1 << (w - 1)
+        for d in digits:
+            if d:
+                assert d & 1, "nonzero wNAF digits must be odd"
+                assert -half < d < half
+        # Non-adjacency: any w consecutive digits hold <= 1 nonzero entry.
+        for i in range(len(digits)):
+            window = digits[i:i + w]
+            assert sum(1 for d in window if d) <= 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(k=st.integers(min_value=1, max_value=(1 << 256) - 1))
+    def test_sparser_than_binary(self, k):
+        # Expected nonzero density of width-w NAF is 1/(w+1); require the
+        # weaker but universal bound: no denser than plain binary.
+        digits = wnaf(k, 4)
+        assert sum(1 for d in digits if d) <= bin(k).count("1")
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            wnaf(5, 1)
+        with pytest.raises(ValueError):
+            wnaf(-5, 4)
+
+    def test_zero(self):
+        assert wnaf(0, 4) == []
+        assert wnaf_value([]) == 0
+
+
+class TestOptimalSignedWindow:
+    def test_bounds(self):
+        for n in (1, 100, 1 << 20):
+            for nbits in (1, 129, 254, 381):
+                assert 2 <= optimal_signed_window(n, nbits) <= 16
+
+    def test_grows_with_n(self):
+        assert (optimal_signed_window(1 << 14, 254)
+                >= optimal_signed_window(1 << 4, 254))
+
+    def test_half_width_scalars_get_fewer_windows(self):
+        # The GLV payoff: 2n half-width scalars must run *fewer window
+        # passes* (and hence fewer Horner doublings) than n full-width
+        # ones, under each configuration's own optimal window.
+        for n in (1 << 8, 1 << 12, 1 << 16):
+            c_half = optimal_signed_window(2 * n, 129)
+            c_full = optimal_signed_window(n, 254)
+            assert (signed_windows_len(129, c_half)
+                    < signed_windows_len(254, c_full))
+
+
+@pytest.fixture(params=["bn128", "bls12_381"], scope="module")
+def g1(request):
+    curve = BN128 if request.param == "bn128" else BLS12_381
+    return curve.g1
+
+
+class TestGLVParams:
+    def test_lambda_is_cube_root_in_fr(self, g1):
+        params = glv_params(g1)
+        assert params is not None
+        r = g1.order
+        lam = params.lam
+        assert (lam * lam + lam + 1) % r == 0
+        assert pow(lam, 3, r) == 1 and lam != 1
+
+    def test_beta_is_cube_root_in_fq(self, g1):
+        params = glv_params(g1)
+        q = g1.ops.fq.modulus
+        beta = params.beta
+        assert pow(beta, 3, q) == 1 and beta != 1
+
+    def test_endomorphism_matches_lambda_on_generator(self, g1):
+        params = glv_params(g1)
+        fq = g1.ops.fq
+        gx, gy = g1.generator.to_affine()
+        phi_g = g1.point_unchecked(fq.mul(params.beta, gx), gy)
+        assert phi_g == g1.generator * params.lam
+
+    def test_short_vectors_in_lattice(self, g1):
+        params = glv_params(g1)
+        r = g1.order
+        for a, b in (params.v1, params.v2):
+            assert (a + b * params.lam) % r == 0
+            # "Short": both coordinates near sqrt(r).
+            assert abs(a).bit_length() <= r.bit_length() // 2 + 2
+            assert abs(b).bit_length() <= r.bit_length() // 2 + 2
+
+    def test_g2_has_no_params(self):
+        assert glv_params(BN128.g2) is None
+        assert glv_params(BLS12_381.g2) is None
+
+    def test_memoized(self, g1):
+        assert glv_params(g1) is glv_params(g1)
+
+
+class TestDecomposeScalar:
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_recomposition_and_half_width(self, g1, data):
+        params = glv_params(g1)
+        r = g1.order
+        k = data.draw(st.integers(min_value=0, max_value=r - 1))
+        k1, k2 = decompose_scalar(params, r, k)
+        assert (k1 + k2 * params.lam) % r == k % r
+        bound = r.bit_length() // 2 + 2
+        assert abs(k1).bit_length() <= bound
+        assert abs(k2).bit_length() <= bound
+
+    def test_edge_scalars(self, g1):
+        params = glv_params(g1)
+        r = g1.order
+        for k in (0, 1, 2, r - 1, (r - 1) // 2, r // 2 + 1):
+            k1, k2 = decompose_scalar(params, r, k)
+            assert (k1 + k2 * params.lam) % r == k % r
+
+
+class TestBatchAffineAccumulate:
+    def _naive_bucket_sums(self, group, n_buckets, entries):
+        sums = [group.infinity() for _ in range(n_buckets)]
+        for bucket, (x, y) in entries:
+            sums[bucket - 1] = sums[bucket - 1].add_affine(x, y)
+        return sums
+
+    def _check(self, group, n_buckets, entries):
+        got = batch_affine_accumulate(group, n_buckets, entries)
+        want = self._naive_bucket_sums(group, n_buckets, entries)
+        for slot, ref in zip(got, want):
+            if slot is None:
+                assert ref.is_infinity()
+            else:
+                assert ref.to_affine() == slot
+
+    @pytest.mark.parametrize("group_name", ["g1", "g2"])
+    @pytest.mark.parametrize("n", [1, 2, 7, 40])
+    def test_matches_naive(self, group_name, n):
+        group = getattr(BN128, group_name)
+        r = random.Random(n)
+        entries = [
+            (r.randrange(1, 9), (group.generator * r.randrange(1, 1000)).to_affine())
+            for _ in range(n)
+        ]
+        self._check(group, 8, entries)
+
+    def test_doubling_and_cancellation(self, g1):
+        g = g1.generator.to_affine()
+        neg_g = (g[0], g1.ops.neg(g[1]))
+        h = (g1.generator * 7).to_affine()
+        entries = [
+            (1, g), (1, g),                 # doubling inside one wave
+            (2, g), (2, neg_g),             # exact cancellation -> None
+            (3, g), (3, neg_g), (3, h),     # cancellation + survivor
+            (4, g), (4, g), (4, g), (4, g),  # repeated doublings
+        ]
+        got = batch_affine_accumulate(g1, 5, entries)
+        assert got[0] == (g1.generator * 2).to_affine()
+        assert got[1] is None
+        assert got[2] == h
+        assert got[3] == (g1.generator * 4).to_affine()
+        assert got[4] is None  # untouched bucket
+
+    def test_zero_y_doubling_is_infinity(self, g1):
+        # 2 * (x, 0) would have a zero denominator; the classifier must
+        # route it to infinity before the inversion batch.  No (x, 0)
+        # point exists on these curves, so drive the classifier directly
+        # with a synthetic coordinate pair.
+        x = 123
+        zero = g1.ops.zero if hasattr(g1.ops, "zero") else 0
+        got = batch_affine_accumulate(g1, 1, [(1, (x, zero)), (1, (x, zero))])
+        assert got[0] is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_batches(self, seed):
+        group = BN128.g1
+        r = random.Random(seed)
+        n_buckets = r.randrange(1, 7)
+        entries = []
+        for _ in range(r.randrange(0, 24)):
+            pt = (group.generator * r.randrange(1, 50)).to_affine()
+            if r.random() < 0.3:
+                pt = (pt[0], group.ops.neg(pt[1]))
+            entries.append((r.randrange(1, n_buckets + 1), pt))
+        self._check(group, n_buckets, entries)

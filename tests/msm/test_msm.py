@@ -133,6 +133,15 @@ class TestFixedBase:
         with pytest.raises(ValueError):
             FixedBaseTable(group.generator, width=17)
 
+    def test_invalid_bits(self, group):
+        # Regression: bits=0 used to fall through ``bits or default`` to
+        # the full scalar width, and negative bits built an empty table
+        # whose mul() silently returned infinity for every scalar.
+        with pytest.raises(ValueError):
+            FixedBaseTable(group.generator, width=4, bits=0)
+        with pytest.raises(ValueError):
+            FixedBaseTable(group.generator, width=4, bits=-8)
+
     def test_scalar_reduced(self, group):
         table = FixedBaseTable(group.generator, width=4)
         assert table.mul(group.order + 9) == group.generator * 9
